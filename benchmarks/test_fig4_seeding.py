@@ -1,0 +1,102 @@
+"""Figure 4 -- seeding behaviour per publisher group (pb10).
+
+Paper:
+
+- (a) fake publishers have by far the longest per-torrent seeding times
+  (they stay the only seed); Top-HP seeds clearly longer than Top-CI;
+- (b) fake publishers seed many torrents in parallel (tens); top publishers
+  around 3; standard publishers ~1;
+- (c) fake publishers have the longest aggregated session times; top
+  publishers ~10x the standard user; Top-HP above Top-CI.
+
+All three metrics are *estimated from sampled tracker observations* through
+the Appendix A machinery, exactly as in the paper.
+"""
+
+from repro.core.analysis.seeding import seeding_by_group
+from repro.stats.tables import format_table
+
+
+def test_fig4_seeding_behaviour(benchmark, pb10, pb10_groups):
+    report = benchmark(seeding_by_group, pb10, pb10_groups)
+    t = report.threshold
+    print()
+    print(
+        f"Appendix A inputs: N={t.population_n}, W={t.sample_w}, "
+        f"spacing={t.query_spacing_minutes:.1f} min -> offline threshold "
+        f"{t.threshold_minutes / 60:.1f} h (paper: 165/50/18min -> 4 h)"
+    )
+    rows = [
+        [
+            name,
+            f"{m['seeding_time'].median:.1f}",
+            f"{m['parallel'].median:.1f}",
+            f"{m['session_time'].median:.1f}",
+            report.measured_publishers[name],
+        ]
+        for name, m in report.per_group.items()
+    ]
+    print(
+        format_table(
+            ["group", "4a seed h/torrent", "4b parallel", "4c session h", "n"],
+            rows,
+            title="Figure 4 analogue -- medians per group",
+        )
+    )
+
+    fake = report.per_group["Fake"]
+    top = report.per_group["Top"]
+    all_group = report.per_group["All"]
+    hp = report.per_group["Top-HP"]
+    ci = report.per_group["Top-CI"]
+
+    # 4a: fake longest; Top-HP > Top-CI.
+    assert fake["seeding_time"].median > 3 * top["seeding_time"].median
+    assert fake["seeding_time"].median > 5 * all_group["seeding_time"].median
+    assert hp["seeding_time"].median > ci["seeding_time"].median
+
+    # 4b: fake publishers (per server) seed many torrents in parallel.
+    assert fake["parallel"].median > 3.0
+    assert fake["parallel"].median > top["parallel"].median
+    assert all_group["parallel"].median < 2.0
+
+    # 4c: fake longest sessions; top ~10x standard; HP above CI.
+    assert fake["session_time"].median > all_group["session_time"].median * 5
+    assert top["session_time"].median > all_group["session_time"].median * 4
+    assert hp["session_time"].median > ci["session_time"].median
+
+
+def test_fig4_threshold_sensitivity(benchmark, pb10, pb10_groups):
+    """The paper's robustness check: 2h / 4h / 6h thresholds give similar
+    results (Appendix A's closing remark)."""
+
+    def sweep():
+        return {
+            hours: seeding_by_group(
+                pb10, pb10_groups, threshold_minutes=hours * 60.0
+            )
+            for hours in (2.0, 4.0, 6.0)
+        }
+
+    results = benchmark(sweep)
+    print()
+    rows = []
+    for hours, report in results.items():
+        fake = report.per_group["Fake"]
+        rows.append(
+            [f"{hours:.0f}h", f"{fake['seeding_time'].median:.1f}",
+             f"{fake['session_time'].median:.1f}"]
+        )
+    print(
+        format_table(
+            ["threshold", "fake seed h/torrent", "fake session h"],
+            rows,
+            title="Appendix A robustness -- 2h/4h/6h thresholds "
+            "(paper: 'similar results')",
+        )
+    )
+    medians = [
+        report.per_group["Fake"]["seeding_time"].median
+        for report in results.values()
+    ]
+    assert max(medians) < 1.6 * min(medians)

@@ -1,0 +1,93 @@
+"""Section 3.3 -- the fine-grained username <-> IP structure (pb10).
+
+Paper headline numbers:
+
+- 55% of the top-100 publisher IPs map to a single username; the rest are
+  fake-publisher servers rotating hacked/throwaway accounts;
+- fake publishers: ~25% of usernames, 30% of content, 25% of downloads;
+- 25% of top-100 usernames publish from a single IP;
+- the Top set (top-100 minus 16 compromised accounts) carries 37% of the
+  content and 50% of the downloads.
+"""
+
+from repro.core.analysis.mapping import analyze_mapping
+from repro.core.analysis.report import PAPER_REFERENCE
+from repro.stats.tables import format_table
+
+from benchmarks.conftest import TOP_K
+
+
+def test_sec33_mapping(benchmark, pb10):
+    mapping = benchmark(analyze_mapping, pb10, TOP_K)
+    print()
+    ref = PAPER_REFERENCE
+    rows = [
+        ["single-username top IPs",
+         f"{100 * mapping.ip_stats.single_username_fraction:.0f}%",
+         f"{100 * ref['sec33_single_username_ip_fraction']:.0f}%"],
+        ["single-IP top usernames",
+         f"{100 * mapping.username_stats.single_ip_fraction:.0f}%",
+         f"{100 * ref['sec33_single_ip_username_fraction']:.0f}%"],
+        ["fake username share",
+         f"{100 * mapping.fake_username_share:.0f}%",
+         f"{100 * ref['sec33_fake_username_share']:.0f}%"],
+        ["fake content share",
+         f"{100 * mapping.fake_content_share:.0f}%",
+         f"{100 * ref['sec33_fake_content_share']:.0f}%"],
+        ["fake download share",
+         f"{100 * mapping.fake_download_share:.0f}%",
+         f"{100 * ref['sec33_fake_download_share']:.0f}%"],
+        ["Top content share",
+         f"{100 * mapping.top_content_share:.0f}%",
+         f"{100 * ref['sec33_top_content_share']:.0f}%"],
+        ["Top download share",
+         f"{100 * mapping.top_download_share:.0f}%",
+         f"{100 * ref['sec33_top_download_share']:.0f}%"],
+        ["compromised accounts in top set",
+         str(mapping.compromised_in_top), "16 of 100"],
+        ["multi-IP users: several hosting servers",
+         f"{100 * mapping.username_stats.multi_hosting_fraction:.0f}%", "34%"],
+        ["multi-IP users: dynamic single ISP",
+         f"{100 * mapping.username_stats.dynamic_single_isp_fraction:.0f}%",
+         "24%"],
+        ["multi-IP users: several commercial ISPs",
+         f"{100 * mapping.username_stats.multiple_isps_fraction:.0f}%", "16%"],
+    ]
+    print(
+        format_table(
+            ["metric", "measured", "paper"],
+            rows,
+            title="Section 3.3 analogue -- publisher mapping structure",
+        )
+    )
+
+    # Bands around the paper's numbers (generous: reduced-scale worlds).
+    assert 0.35 < mapping.ip_stats.single_username_fraction < 0.90
+    assert 0.12 < mapping.fake_username_share < 0.45
+    assert 0.18 < mapping.fake_content_share < 0.45
+    assert 0.10 < mapping.fake_download_share < 0.40
+    assert 0.25 < mapping.top_content_share < 0.55
+    assert 0.35 < mapping.top_download_share < 0.70
+    # Downloads concentrate harder than content for the Top set; the reverse
+    # holds for fake publishers (their torrents are unpopular).
+    assert mapping.top_download_share > mapping.top_content_share
+    assert mapping.fake_download_share < mapping.fake_content_share
+    # Some compromised accounts surfaced inside the top set.
+    assert mapping.compromised_in_top >= 3
+    # Multi-username IPs rotate many accounts (paper: "a large number").
+    assert mapping.ip_stats.usernames_per_multi_ip_avg >= 3.0
+
+
+def test_sec33_headline_two_thirds(benchmark, pb10):
+    """'Top + fake publishers collectively are responsible of 2/3 of the
+    published content and 3/4 of the downloads.'"""
+    mapping = benchmark(analyze_mapping, pb10, TOP_K)
+    major_content = mapping.fake_content_share + mapping.top_content_share
+    major_downloads = mapping.fake_download_share + mapping.top_download_share
+    print()
+    print(
+        f"major publishers: {100 * major_content:.0f}% of content "
+        f"(paper 66%), {100 * major_downloads:.0f}% of downloads (paper 75%)"
+    )
+    assert 0.50 < major_content < 0.85
+    assert 0.55 < major_downloads < 0.92

@@ -1,0 +1,86 @@
+"""Section 5.1 -- business classification of top publishers (pb10).
+
+Paper: 26% of top publishers run private BitTorrent portals (18% of all
+content, 29% of downloads); 24% promote other web sites (8% / 11%); the
+remaining 52% appear altruistic (11.5% / 11.5%).  The textbox is the most
+common promo placement; 40% of BT-portal publishers are language-specific,
+2/3 of those Spanish; regular publishers show no promotion.
+"""
+
+from repro.core.analysis.incentives import (
+    check_regular_publishers,
+    classify_top_publishers,
+)
+from repro.core.analysis.report import PAPER_REFERENCE
+from repro.stats.tables import format_table
+
+
+def test_sec51_publisher_classes(benchmark, pb10, pb10_groups):
+    report = benchmark(classify_top_publishers, pb10, pb10_groups)
+    print()
+    ref_top = PAPER_REFERENCE["sec51_class_top_fraction"]
+    ref_content = PAPER_REFERENCE["sec51_class_content_share"]
+    ref_down = PAPER_REFERENCE["sec51_class_download_share"]
+    rows = [
+        [
+            cls,
+            f"{100 * report.class_top_fraction[cls]:.0f}%"
+            f" ({100 * ref_top[cls]:.0f}%)",
+            f"{100 * report.class_content_share[cls]:.1f}%"
+            f" ({100 * ref_content[cls]:.1f}%)",
+            f"{100 * report.class_download_share[cls]:.1f}%"
+            f" ({100 * ref_down[cls]:.1f}%)",
+        ]
+        for cls in report.class_members
+    ]
+    print(
+        format_table(
+            ["class", "% of top (paper)", "% content (paper)",
+             "% downloads (paper)"],
+            rows,
+            title="Section 5.1 analogue -- publisher classes",
+        )
+    )
+
+    # Every class is populated and the split resembles the paper's.
+    for cls in report.class_members:
+        assert report.class_members[cls], cls
+    assert 0.10 < report.class_top_fraction["BT Portals"] < 0.45
+    assert 0.08 < report.class_top_fraction["Other Web sites"] < 0.40
+    assert 0.30 < report.class_top_fraction["Altruistic Publishers"] < 0.75
+
+    # BT portals: biggest download share of the three classes, exceeding its
+    # content share (the paper's "20 publishers, 1/3 of the downloads").
+    bt_content = report.class_content_share["BT Portals"]
+    bt_downloads = report.class_download_share["BT Portals"]
+    assert bt_downloads > bt_content
+    assert bt_downloads > report.class_download_share["Other Web sites"]
+    assert bt_downloads > report.class_download_share["Altruistic Publishers"]
+
+    # Profit-driven total: paper ~26% content / 40% downloads.
+    profit_content = bt_content + report.class_content_share["Other Web sites"]
+    profit_downloads = (
+        bt_downloads + report.class_download_share["Other Web sites"]
+    )
+    print(
+        f"profit-driven publishers: {100 * profit_content:.0f}% content "
+        f"(paper ~26%), {100 * profit_downloads:.0f}% downloads (paper ~40%)"
+    )
+    assert 0.15 < profit_content < 0.45
+    assert 0.25 < profit_downloads < 0.60
+    assert profit_downloads > profit_content
+
+    # Placement: textbox dominates for both promoting classes.
+    assert report.textbox_fraction["BT Portals"] >= 0.5
+    assert report.textbox_fraction["Other Web sites"] >= 0.5
+
+    # Language specialisation (paper: 40% language-specific, 66% Spanish).
+    if report.language_specific_fraction:
+        assert report.spanish_fraction_of_language_specific >= 0.3
+
+
+def test_sec51_regular_publishers_unremarkable(benchmark, pb10, pb10_groups):
+    """Paper: sampled regular publishers show nothing unusual."""
+    promoting = benchmark(check_regular_publishers, pb10, pb10_groups, 100)
+    print(f"\nregular publishers promoting a URL: {promoting}/100 (paper: 0)")
+    assert promoting == 0

@@ -1,0 +1,51 @@
+"""Section 6 -- other beneficiaries: the hosting provider's income.
+
+Paper: OVH contributes 78-164 publisher servers across the datasets; at
+~300 EUR/server/month that is roughly 23.4K-42.9K EUR/month of hosting
+income attributable to BitTorrent publishing.  Also: no OVH addresses ever
+appear among the *consuming* peers.
+"""
+
+from repro.core.analysis.income import consumers_at, hosting_provider_income
+from repro.stats.tables import format_number, format_table
+
+
+def test_sec6_ovh_income(benchmark, all_datasets):
+    estimates = benchmark(
+        lambda: {
+            name: hosting_provider_income(ds)
+            for name, ds in all_datasets.items()
+        }
+    )
+    print()
+    rows = [
+        [
+            name,
+            est.num_publisher_ips,
+            f"{format_number(est.monthly_income_eur)} EUR",
+        ]
+        for name, est in estimates.items()
+    ]
+    print(
+        format_table(
+            ["dataset", "OVH publisher servers", "est. monthly income"],
+            rows,
+            title="Section 6 analogue (paper: 78-164 servers -> "
+            "23.4K-42.9K EUR/month)",
+        )
+    )
+
+    for name, est in estimates.items():
+        # Scale-adjusted: a meaningful rented fleet in every dataset.
+        assert est.num_publisher_ips >= 5, name
+        assert est.monthly_income_eur == est.num_publisher_ips * 300.0
+
+    # The monitored crawls find more OVH servers than the single-query one.
+    assert estimates["pb10"].num_publisher_ips >= estimates["pb09"].num_publisher_ips * 0.5
+
+
+def test_sec6_no_hosting_consumers(benchmark, pb10):
+    """'We did not observe the presence of OVH users among consuming peers.'"""
+    count = benchmark(consumers_at, pb10, "OVH")
+    print(f"\nOVH addresses among downloaders: {count} (paper: 0)")
+    assert count == 0

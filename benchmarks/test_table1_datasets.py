@@ -1,0 +1,57 @@
+"""Table 1 -- dataset description (torrents, identified publishers, IPs).
+
+Paper (Table 1):
+
+    mn08  Mininova    - / 20.8K torrents, 8.2M IPs
+    pb09  Pirate Bay  23.2K / 10.4K torrents, 52.9K IPs
+    pb10  Pirate Bay  38.4K / 14.6K torrents, 27.3M IPs
+
+Our worlds are reduced-scale; the *structure* to reproduce is: usernames for
+every torrent on Pirate Bay feeds and none on Mininova's; publisher IPs for
+a large minority of torrents; pb09's single-query crawl discovering orders
+of magnitude fewer IPs than the monitored crawls.
+"""
+
+from repro.stats.tables import format_number, format_table
+
+
+def _table1_rows(datasets):
+    rows = []
+    for name in ("mn08", "pb09", "pb10"):
+        ds = datasets[name]
+        rows.append(
+            [
+                name,
+                ds.config.portal_name,
+                ds.num_torrents,
+                ds.num_with_username or "-",
+                ds.num_with_publisher_ip,
+                format_number(ds.total_distinct_ips()),
+            ]
+        )
+    return rows
+
+
+def test_table1_datasets(benchmark, all_datasets):
+    rows = benchmark(_table1_rows, all_datasets)
+    print()
+    print(
+        format_table(
+            ["dataset", "portal", "#torrents", "w/ username", "w/ IP", "#IPs"],
+            rows,
+            title="Table 1 analogue (paper: mn08 -/20.8K & 8.2M IPs; "
+            "pb09 23.2K/10.4K & 52.9K; pb10 38.4K/14.6K & 27.3M)",
+        )
+    )
+
+    mn08, pb09, pb10 = (all_datasets[n] for n in ("mn08", "pb09", "pb10"))
+    # Structural facts from Table 1.
+    assert mn08.num_with_username == 0
+    assert pb09.num_with_username == pb09.num_torrents
+    assert pb10.num_with_username == pb10.num_torrents
+    for ds in (mn08, pb09, pb10):
+        assert 0.2 < ds.num_with_publisher_ip / ds.num_torrents < 0.9
+    # pb09's single-query crawl sees far fewer IPs per torrent.
+    pb09_ips_per_torrent = pb09.total_distinct_ips() / pb09.num_torrents
+    pb10_ips_per_torrent = pb10.total_distinct_ips() / pb10.num_torrents
+    assert pb10_ips_per_torrent > 3 * pb09_ips_per_torrent

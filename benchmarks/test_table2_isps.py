@@ -1,0 +1,73 @@
+"""Table 2 -- content publisher distribution per ISP.
+
+Paper: OVH leads every dataset (13-25% of identified content); the fake
+hosting providers (tzulo, FDCservers, 4RWEB) appear with a few percent each
+in pb10; a large share of the top rows are hosting providers; commercial
+ISPs like Comcast carry small shares.
+"""
+
+from repro.core.analysis.isps import isp_ranking, top_publishers_at_hosting
+from repro.geoip import IspKind
+from repro.stats.tables import format_table
+
+from benchmarks.conftest import TOP_K
+
+
+def test_table2_isp_ranking(benchmark, all_datasets):
+    tables = benchmark(
+        lambda: {name: isp_ranking(ds) for name, ds in all_datasets.items()}
+    )
+    print()
+    for name, table in tables.items():
+        print(
+            format_table(
+                ["ISP", "type", "% content"],
+                [
+                    [row.isp, row.kind.value, f"{row.content_share_pct:.2f}"]
+                    for row in table.rows
+                ],
+                title=f"Table 2 analogue -- {name} "
+                "(paper: OVH tops all datasets at 13-25%)",
+            )
+        )
+        print()
+
+    for name, table in tables.items():
+        top_row = table.rows[0]
+        # A hosting provider leads, with OVH among the leaders (the paper's
+        # mn08, keyed by IP, is the noisiest: allow top-5 there).
+        depth = 5 if name == "mn08" else 3
+        leaders = [row.isp for row in table.rows[:depth]]
+        assert top_row.kind is IspKind.HOSTING_PROVIDER, name
+        assert "OVH" in leaders, name
+        # Hosting providers prominent among the top-10 rows.
+        assert table.hosting_share_of_top_rows >= 0.3, name
+
+    # pb10 specifics: the fake hosting providers appear in the ranking.
+    pb10_isps = {row.isp for row in tables["pb10"].rows}
+    assert pb10_isps & {"tzulo", "FDCservers", "4RWEB"}
+
+
+def test_sec32_top_publishers_at_hosting(benchmark, all_datasets):
+    """Section 3.2: 42%/35%/77% of top-100 publishers sit at hosting
+    providers (pb10/pb09/mn08), with OVH the biggest single host."""
+    results = benchmark(
+        lambda: {
+            name: top_publishers_at_hosting(ds, top_k=TOP_K)
+            for name, ds in all_datasets.items()
+        }
+    )
+    print()
+    for name, (hosting, ovh) in results.items():
+        print(
+            f"{name}: {100 * hosting:.0f}% of top-{TOP_K} at hosting "
+            f"(paper {dict(pb10=42, pb09=35, mn08=77)[name]}%), "
+            f"{100 * ovh:.0f}% at OVH"
+        )
+    for name, (hosting, ovh) in results.items():
+        assert 0.10 < hosting <= 0.98, name
+        assert ovh <= hosting, name
+        assert ovh > 0.02, name  # OVH is always a visible presence
+    # mn08 (keyed by IP) concentrates harder at hosting than pb10 (usernames
+    # aggregate multiple home IPs), as in the paper (77% vs 42%).
+    assert results["mn08"][0] >= results["pb10"][0] * 0.8

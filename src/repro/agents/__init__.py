@@ -1,0 +1,39 @@
+"""Publisher agents: the generative model of who publishes and why.
+
+The paper's central finding is that BitTorrent publishing splits into a few
+behavioural species.  Each species is a :class:`BehaviorProfile`; a scenario
+instantiates a population of concrete :class:`PublisherAgent` objects from
+those profiles (usernames, IPs at specific ISPs, promoted websites, seeding
+habits), and the world generator turns agents into torrents, swarms and
+seeding sessions.
+
+The analysis pipeline never sees these objects -- it must *recover* the
+structure from crawled observations, which is exactly the paper's inference
+problem.
+"""
+
+from repro.agents.profiles import (
+    BehaviorProfile,
+    IpPolicy,
+    PromoPlacement,
+    PublisherClass,
+    default_profiles,
+)
+from repro.agents.population import (
+    PopulationConfig,
+    PublisherAgent,
+    build_population,
+)
+from repro.agents.naming import NameForge
+
+__all__ = [
+    "BehaviorProfile",
+    "IpPolicy",
+    "PromoPlacement",
+    "PublisherClass",
+    "default_profiles",
+    "PopulationConfig",
+    "PublisherAgent",
+    "build_population",
+    "NameForge",
+]

@@ -1,0 +1,222 @@
+"""Agent behaviour: when agents publish and how they seed.
+
+Two behavioural regimes matter (Section 4.3):
+
+- **guaranteed-seeding publishers** (top publishers): after publishing, they
+  seed the torrent for a total budget of hours, in one or a few sittings,
+  then rely on the swarm to carry the content;
+- **keep-alive publishers** (fake publishers): nobody ever helps seed a fake
+  file, so the publisher must stay as the *only* seed for as long as it
+  wants the torrent alive -- it follows its own long online/offline schedule
+  and seeds all of its recent torrents in parallel whenever online.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.agents.population import PublisherAgent
+from repro.agents.profiles import IpPolicy
+from repro.portal.categories import Category
+from repro.simulation.clock import DAY, HOUR
+from repro.stats.distributions import poisson
+
+Interval = Tuple[float, float]
+SeedSession = Tuple[int, float, float]  # (ip, start, end)
+
+
+# ---------------------------------------------------------------------------
+# Publication schedules
+# ---------------------------------------------------------------------------
+def publication_times(
+    rng: random.Random,
+    agent: PublisherAgent,
+    window_start: float,
+    window_end: float,
+) -> List[float]:
+    """When this agent publishes during the measurement window.
+
+    High-rate publishers post in daily batches around a per-agent posting
+    hour (matching the bursty upload patterns of release teams); regular
+    users post a handful of items at uniform times.
+    """
+    if window_end <= window_start:
+        raise ValueError("window_end must be after window_start")
+    days = (window_end - window_start) / DAY
+
+    if agent.publisher_class.name == "REGULAR":
+        expected = agent.rate_per_day * days
+        count = max(1, poisson(rng, expected))
+        return sorted(
+            rng.uniform(window_start, window_end) for _ in range(count)
+        )
+
+    posting_hour = rng.uniform(6.0, 23.0)
+    times: List[float] = []
+    day = 0
+    while window_start + day * DAY < window_end:
+        day_start = window_start + day * DAY
+        batch = poisson(rng, agent.rate_per_day)
+        if batch:
+            session_start = day_start + posting_hour * HOUR + rng.gauss(0, 45.0)
+            session_start = max(day_start, session_start)
+            for index in range(batch):
+                t = session_start + index * rng.uniform(2.0, 12.0)
+                if window_start <= t < window_end:
+                    times.append(t)
+        day += 1
+    times.sort()
+    return times
+
+
+# ---------------------------------------------------------------------------
+# Online schedules (keep-alive publishers)
+# ---------------------------------------------------------------------------
+def online_schedule(
+    rng: random.Random,
+    agent: PublisherAgent,
+    start: float,
+    end: float,
+) -> List[Interval]:
+    """Alternating online/offline blocks over [start, end].
+
+    Fake publishers run rented servers: long online blocks (tens of hours)
+    with short maintenance gaps, giving them the near-continuous presence
+    the paper measures in Fig. 4(c).
+    """
+    if end <= start:
+        raise ValueError("end must be after start")
+    blocks: List[Interval] = []
+    t = start
+    online_mean = agent.profile.online_block_hours * HOUR
+    gap_mean = agent.profile.offline_gap_hours * HOUR
+    while t < end:
+        block = rng.expovariate(1.0 / online_mean)
+        blocks.append((t, min(t + block, end)))
+        t += block + rng.expovariate(1.0 / gap_mean)
+    return blocks
+
+
+def _intersect(blocks: List[Interval], lo: float, hi: float) -> List[Interval]:
+    out: List[Interval] = []
+    for b_lo, b_hi in blocks:
+        s, e = max(b_lo, lo), min(b_hi, hi)
+        if e > s:
+            out.append((s, e))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Seeding sessions
+# ---------------------------------------------------------------------------
+def seeding_sessions(
+    rng: random.Random,
+    agent: PublisherAgent,
+    publish_time: float,
+    schedule: List[Interval],
+) -> List[SeedSession]:
+    """The publisher's seeding sessions for one torrent.
+
+    Keep-alive publishers seed during every online block until they abandon
+    the torrent; budgeted publishers seed their hour budget in 1..k sittings
+    starting right at publication.  Dynamic-IP publishers may show up with a
+    different address in a later sitting -- the reason top usernames map to
+    multiple IPs in Section 3.3.
+    """
+    profile = agent.profile
+    if profile.keepalive_seeding:
+        lo_days, hi_days = profile.abandon_after_days
+        abandon = publish_time + rng.uniform(lo_days, hi_days) * DAY
+        primary = agent.pick_ip(rng)
+        sessions = [
+            (primary, s, e)
+            for s, e in _intersect(schedule, publish_time, abandon)
+        ]
+        # A fake entity's server farm reinforces its live torrents: other
+        # servers join a few hours after publication, which is what makes a
+        # single fake IP seed dozens of torrents in parallel (Fig. 4b) while
+        # the swarm still has exactly one seeder at birth (so the paper's
+        # identification rule keeps working).
+        for ip in agent.ips:
+            if ip == primary or rng.random() >= 0.3:
+                continue
+            join_at = publish_time + rng.uniform(2.0 * HOUR, 12.0 * HOUR)
+            sessions.extend(
+                (ip, s, e) for s, e in _intersect(schedule, join_at, abandon)
+            )
+        return sessions
+
+    total = (
+        rng.lognormvariate(0.0, profile.seed_hours_sigma)
+        * profile.seed_hours_median
+        * HOUR
+    )
+    # A rented server can afford to keep seeding long after publication; a
+    # home DSL line cannot (Section 4.3: Top-HP seeds clearly longer than
+    # Top-CI and is more available).
+    if agent.ip_policy in (IpPolicy.SINGLE_HOSTING, IpPolicy.MULTI_HOSTING):
+        total *= 1.6
+    elif agent.is_top:
+        total *= 0.7
+    total = max(total, 20.0)  # nobody seeds for less than 20 minutes
+    lo_sit, hi_sit = profile.seeding_sittings
+    sittings = rng.randint(lo_sit, hi_sit)
+    # Split the budget into `sittings` uneven parts.
+    cuts = sorted(rng.random() for _ in range(sittings - 1))
+    parts = []
+    prev = 0.0
+    for cut in cuts + [1.0]:
+        parts.append((cut - prev) * total)
+        prev = cut
+    sessions: List[SeedSession] = []
+    t = publish_time
+    ip = agent.pick_ip(rng)
+    # Only dynamically-addressed home lines change IP between sittings; a
+    # rented server keeps seeding its torrent from the same address.
+    rotates = agent.ip_policy in (IpPolicy.SINGLE_CI_DYNAMIC, IpPolicy.MULTI_CI)
+    for index, part in enumerate(parts):
+        if part < 10.0:
+            part = 10.0
+        sessions.append((ip, t, t + part))
+        t += part + rng.expovariate(1.0 / (6.0 * HOUR))
+        if rotates and len(agent.ips) > 1 and rng.random() < 0.5:
+            ip = agent.pick_ip(rng)  # dynamic re-assignment / home vs work
+    return sessions
+
+
+# ---------------------------------------------------------------------------
+# Content sizes
+# ---------------------------------------------------------------------------
+_SIZE_PARAMS = {
+    Category.MOVIES: (1_400, 0.6),
+    Category.TV_SHOWS: (350, 0.5),
+    Category.PORN: (600, 0.7),
+    Category.MUSIC: (110, 0.5),
+    Category.AUDIO_BOOKS: (300, 0.6),
+    Category.APPLICATIONS: (250, 1.0),
+    Category.GAMES: (2_500, 0.9),
+    Category.EBOOKS: (8, 1.0),
+    Category.PICTURES: (80, 0.8),
+    Category.OTHER: (150, 1.2),
+}
+
+
+def content_size_bytes(rng: random.Random, category: Category) -> int:
+    """Draw a plausible content size (median MBs per category)."""
+    median_mb, sigma = _SIZE_PARAMS[category]
+    size_mb = rng.lognormvariate(0.0, sigma) * median_mb
+    return max(1_000_000, int(size_mb * 1_000_000))
+
+
+def pick_category(rng: random.Random, agent: PublisherAgent) -> Category:
+    weights = agent.profile.category_weights
+    categories = list(weights)
+    total = sum(weights.values())
+    u = rng.random() * total
+    acc = 0.0
+    for category in categories:
+        acc += weights[category]
+        if u <= acc:
+            return category
+    return categories[-1]

@@ -1,0 +1,11 @@
+"""Bencoding -- BitTorrent's wire serialisation format (BEP 3).
+
+A complete, strict encoder/decoder.  The torrent metainfo layer and the
+tracker's HTTP-style announce responses are built on top of it, so the
+crawler parses real bencoded bytes exactly as it would against a live
+tracker.
+"""
+
+from repro.bencode.codec import BencodeError, bdecode, bencode
+
+__all__ = ["BencodeError", "bdecode", "bencode"]

@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+    python -m repro run pb10 --scale 0.4 --archive pb10.sqlite
+    python -m repro report pb10 --scale 0.4 --top-k 40
+    python -m repro monitor --days 6
+    python -m repro appendix --n 165 --w 50 --spacing 18
+
+Subcommands:
+
+``run``
+    Run one measurement campaign and print the Table-1-style summary;
+    ``--archive`` additionally writes the SQLite archive.
+``report``
+    Run a campaign and print the complete analysis report (every table and
+    figure of the paper).
+``monitor``
+    Run the Section 7 live monitoring application over a small world and
+    print the database view.
+``appendix``
+    Evaluate the Appendix A model for given (N, W, spacing, confidence).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.analysis.report import build_report, format_report
+from repro.core.collector import run_measurement
+from repro.core.export import save_dataset
+from repro.core.monitor import ContentPublishingMonitor
+from repro.core.sessions import offline_threshold, required_queries
+from repro.simulation import (
+    World,
+    mn08_scenario,
+    pb09_scenario,
+    pb10_scenario,
+    tiny_scenario,
+)
+from repro.simulation.engine import EventScheduler
+from repro.stats.tables import format_number, format_table
+
+_SCENARIOS = {
+    "pb10": pb10_scenario,
+    "pb09": pb09_scenario,
+    "mn08": mn08_scenario,
+}
+
+
+def _scenario_from_args(args: argparse.Namespace):
+    if args.scenario == "tiny":
+        return tiny_scenario()
+    return _SCENARIOS[args.scenario](scale=args.scale, popularity_scale=args.pop)
+
+
+def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "scenario", choices=sorted(_SCENARIOS) + ["tiny"],
+        help="which dataset analogue to build",
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="publisher population scale (default 1.0)")
+    parser.add_argument("--pop", type=float, default=1.0,
+                        help="per-torrent popularity scale (default 1.0)")
+    parser.add_argument("--seed", type=int, default=2010)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _scenario_from_args(args)
+    dataset = run_measurement(config, seed=args.seed, progress=print)
+    print()
+    print(
+        format_table(
+            ["dataset", "#torrents", "w/ username", "w/ publisher IP", "#IPs"],
+            [[
+                dataset.name,
+                dataset.num_torrents,
+                dataset.num_with_username or "-",
+                dataset.num_with_publisher_ip,
+                format_number(dataset.total_distinct_ips()),
+            ]],
+            title="Campaign summary (Table 1 analogue)",
+        )
+    )
+    if args.archive:
+        save_dataset(dataset, args.archive)
+        print(f"archive written to {args.archive}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    config = _scenario_from_args(args)
+    dataset = run_measurement(config, seed=args.seed, progress=print)
+    report = build_report(dataset, top_k=args.top_k)
+    print()
+    print(format_report(report))
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    config = dataclasses.replace(
+        tiny_scenario("cli-monitor"),
+        window_days=args.days,
+        post_window_days=1.0,
+    )
+    world = World.build(config, seed=args.seed)
+    monitor = ContentPublishingMonitor(
+        world, EventScheduler(), verify_content_fraction=args.verify
+    )
+    monitor.run_until(config.window_minutes)
+    print(f"ingested {monitor.publications_seen} publications; located "
+          f"{monitor.publishers_located} publisher IPs")
+    if args.verify > 0:
+        print(f"hash-verified {monitor.contents_verified} contents; caught "
+              f"{monitor.fakes_caught} fakes")
+    print()
+    print(
+        format_table(
+            ["username", "publications"],
+            monitor.store.top_publishers(limit=args.limit),
+            title="Top publishers",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["ISP", "publications"],
+            monitor.store.isp_breakdown()[: args.limit],
+            title="Publisher ISPs",
+        )
+    )
+    return 0
+
+
+def _cmd_appendix(args: argparse.Namespace) -> int:
+    m = required_queries(args.n, args.w, args.confidence)
+    threshold = offline_threshold(args.n, args.w, args.spacing, args.confidence)
+    print(f"N={args.n} peers, W={args.w} sampled, P>={args.confidence}")
+    print(f"queries needed: m={m}")
+    print(f"offline threshold: {threshold:.0f} min ({threshold / 60:.2f} h)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Is Content Publishing in BitTorrent "
+        "Altruistic or Profit-Driven?' (CoNEXT 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one measurement campaign")
+    _add_scenario_options(run_parser)
+    run_parser.add_argument("--archive", help="write a SQLite archive here")
+    run_parser.set_defaults(func=_cmd_run)
+
+    report_parser = sub.add_parser("report", help="run a campaign and print "
+                                   "the full analysis report")
+    _add_scenario_options(report_parser)
+    report_parser.add_argument("--top-k", type=int, default=40)
+    report_parser.set_defaults(func=_cmd_report)
+
+    monitor_parser = sub.add_parser("monitor", help="run the Section 7 live "
+                                    "monitoring application")
+    monitor_parser.add_argument("--days", type=float, default=4.0)
+    monitor_parser.add_argument("--seed", type=int, default=2010)
+    monitor_parser.add_argument("--limit", type=int, default=10)
+    monitor_parser.add_argument(
+        "--verify", type=float, default=0.0,
+        help="fraction of new torrents to hash-verify (fake filter)",
+    )
+    monitor_parser.set_defaults(func=_cmd_monitor)
+
+    appendix_parser = sub.add_parser("appendix", help="evaluate the Appendix "
+                                     "A session model")
+    appendix_parser.add_argument("--n", type=int, default=165)
+    appendix_parser.add_argument("--w", type=int, default=50)
+    appendix_parser.add_argument("--spacing", type=float, default=18.0)
+    appendix_parser.add_argument("--confidence", type=float, default=0.99)
+    appendix_parser.set_defaults(func=_cmd_appendix)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

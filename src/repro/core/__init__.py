@@ -1,0 +1,25 @@
+"""The paper's contribution: measurement methodology + analysis pipeline.
+
+- :mod:`repro.core.crawler` -- RSS-driven discovery, immediate tracker
+  contact, bitfield-probe publisher identification, periodic multi-vantage
+  tracker monitoring (Section 2);
+- :mod:`repro.core.sessions` -- the Appendix A session-time estimator;
+- :mod:`repro.core.collector` -- run a whole measurement campaign against a
+  simulated world, producing a :class:`~repro.core.datasets.Dataset`;
+- :mod:`repro.core.analysis` -- one module per table/figure of the paper;
+- :mod:`repro.core.monitor` -- the Section 7 continuous monitoring
+  application with its database and query interface.
+"""
+
+from repro.core.datasets import Dataset, IdentificationOutcome, TorrentRecord
+from repro.core.collector import run_measurement
+from repro.core.export import load_dataset, save_dataset
+
+__all__ = [
+    "Dataset",
+    "IdentificationOutcome",
+    "TorrentRecord",
+    "run_measurement",
+    "save_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,26 @@
+"""Analysis pipeline: one module per table/figure of the paper.
+
+========================  ===========================================
+module                    paper artifact
+========================  ===========================================
+``contribution``          Fig. 1 + Section 3.1 skewness statistics
+``isps``                  Table 2 (top-10 ISPs), Table 3 (OVH/Comcast)
+``mapping``               Section 3.3 username<->IP structure, fake
+                          publisher detection, the Top set
+``groups``                the All / Fake / Top / Top-HP / Top-CI split
+``content_type``          Fig. 2 content-type mix per group
+``popularity``            Fig. 3 downloaders-per-torrent box plots
+``seeding``               Fig. 4(a,b,c) seeding behaviour
+``incentives``            Section 5.1 business classes + Table 4
+``income``                Table 5 website economics + Section 6 (OVH)
+``report``                everything, in one call
+========================  ===========================================
+
+All functions take a :class:`~repro.core.datasets.Dataset` -- crawled
+observations plus public lookup services -- and never simulator truth.
+"""
+
+from repro.core.analysis.groups import PublisherGroups, identify_groups
+from repro.core.analysis.report import PaperReport, build_report
+
+__all__ = ["PublisherGroups", "identify_groups", "PaperReport", "build_report"]

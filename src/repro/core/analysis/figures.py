@@ -1,0 +1,132 @@
+"""Figure data series: plottable/CSV-able versions of every figure.
+
+The analysis modules return rich report objects; this module flattens them
+into plain ``(header, rows)`` series, one per figure of the paper, so they
+can be written to CSV and replotted with any tool.  No plotting library is
+used or required.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.analysis.content_type import ContentTypeBreakdown
+from repro.core.analysis.contribution import ContributionReport
+from repro.core.analysis.popularity import PopularityReport
+from repro.core.analysis.seeding import SeedingReport
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One figure's data, as header + rows."""
+
+    figure: str
+    header: Tuple[str, ...]
+    rows: Tuple[Tuple[object, ...], ...]
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.header)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def write_csv(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8", newline="") as fh:
+            fh.write(self.to_csv())
+
+
+def fig1_series(reports: Dict[str, ContributionReport]) -> FigureSeries:
+    """Fig. 1: one (x, share) series per dataset, long format."""
+    rows: List[Tuple[object, ...]] = []
+    for name, report in reports.items():
+        for x, share in report.curve:
+            rows.append((name, x, round(share, 3)))
+    return FigureSeries(
+        figure="fig1",
+        header=("dataset", "top_percent", "content_share_percent"),
+        rows=tuple(rows),
+    )
+
+
+def fig2_series(
+    breakdowns: Dict[str, ContentTypeBreakdown], dataset_name: str
+) -> FigureSeries:
+    """Fig. 2: stacked-bar data (group, content type, percent)."""
+    rows: List[Tuple[object, ...]] = []
+    for group, entry in breakdowns.items():
+        for coarse, share in sorted(entry.shares.items()):
+            rows.append((dataset_name, group, coarse, round(share, 3)))
+    return FigureSeries(
+        figure="fig2",
+        header=("dataset", "group", "content_type", "percent"),
+        rows=tuple(rows),
+    )
+
+
+def _box_rows(
+    per_group: Dict[str, object], metric_of=lambda stats: stats
+) -> List[Tuple[object, ...]]:
+    rows: List[Tuple[object, ...]] = []
+    for group, stats in per_group.items():
+        box = metric_of(stats)
+        rows.append(
+            (
+                group,
+                round(box.minimum, 3),
+                round(box.p25, 3),
+                round(box.median, 3),
+                round(box.p75, 3),
+                round(box.maximum, 3),
+                box.count,
+            )
+        )
+    return rows
+
+
+_BOX_HEADER = ("group", "min", "p25", "median", "p75", "max", "n")
+
+
+def fig3_series(report: PopularityReport) -> FigureSeries:
+    """Fig. 3: box-plot five-number summaries per group."""
+    return FigureSeries(
+        figure="fig3", header=_BOX_HEADER, rows=tuple(_box_rows(report.per_group))
+    )
+
+
+def fig4_series(report: SeedingReport) -> Tuple[FigureSeries, ...]:
+    """Fig. 4(a,b,c): one series per panel."""
+    panels = (
+        ("fig4a_seeding_time", "seeding_time"),
+        ("fig4b_parallel", "parallel"),
+        ("fig4c_session_time", "session_time"),
+    )
+    out = []
+    for figure, metric in panels:
+        rows = _box_rows(
+            report.per_group, metric_of=lambda metrics, m=metric: metrics[m]
+        )
+        out.append(FigureSeries(figure=figure, header=_BOX_HEADER, rows=tuple(rows)))
+    return tuple(out)
+
+
+def write_all_figures(
+    directory: str,
+    fig1: FigureSeries,
+    fig2: Sequence[FigureSeries],
+    fig3: FigureSeries,
+    fig4: Sequence[FigureSeries],
+) -> List[str]:
+    """Write every figure CSV into ``directory``; returns the paths."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for series in [fig1, *fig2, fig3, *fig4]:
+        path = os.path.join(directory, f"{series.figure}.csv")
+        series.write_csv(path)
+        paths.append(path)
+    return paths

@@ -1,0 +1,144 @@
+"""Section 5.3 (Table 5) and Section 6: the money.
+
+Table 5: per profit-driven class, min/median/avg/max of the promoting web
+sites' value, daily income and daily visits, each site's figures being the
+average of six independent monitor estimates.
+
+Section 6: the hosting-provider side -- OVH's estimated monthly income from
+BitTorrent publishers, at ~300 EUR per rented server (distinct OVH publisher
+IP) per month.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.core.analysis.incentives import IncentivesReport
+from repro.core.datasets import Dataset
+from repro.stats.summaries import MinMedAvgMax, min_med_avg_max
+
+OVH_SERVER_EUR_PER_MONTH = 300.0
+
+
+@dataclass(frozen=True)
+class WebsiteEconomics:
+    """One Table 5 row group (one publisher class)."""
+
+    publisher_class: str
+    num_sites: int
+    value_usd: MinMedAvgMax
+    daily_income_usd: MinMedAvgMax
+    daily_visits: MinMedAvgMax
+
+
+@dataclass
+class IncomeReport:
+    per_class: Dict[str, WebsiteEconomics] = field(default_factory=dict)
+    very_profitable_sites: int = 0  # sites valued > $100k (the "few <10")
+    ad_funded_fraction: float = 0.0
+
+
+def website_economics(
+    dataset: Dataset, incentives: IncentivesReport
+) -> IncomeReport:
+    """Table 5: monitor-panel estimates per profit-driven class."""
+    report = IncomeReport()
+    panel = dataset.monitor_panel
+    all_estimates = []
+    ad_funded = 0
+    sites_seen = 0
+    for cls in ("BT Portals", "Other Web sites"):
+        values: List[float] = []
+        incomes: List[float] = []
+        visits: List[float] = []
+        for key in incentives.class_members.get(cls, ()):  # noqa: B905
+            publisher = incentives.publishers[key]
+            site = publisher.website
+            estimate = panel.estimate(site)
+            if estimate is None:
+                continue
+            sites_seen += 1
+            if site is not None and site.posts_ads:
+                # Validated via the HTTP-header third-party check.
+                if site.http_header_third_parties():
+                    ad_funded += 1
+            values.append(estimate.value_usd)
+            incomes.append(estimate.daily_income_usd)
+            visits.append(estimate.daily_visits)
+            all_estimates.append(estimate)
+        if values:
+            report.per_class[cls] = WebsiteEconomics(
+                publisher_class=cls,
+                num_sites=len(values),
+                value_usd=min_med_avg_max(values),
+                daily_income_usd=min_med_avg_max(incomes),
+                daily_visits=min_med_avg_max(visits),
+            )
+    report.very_profitable_sites = sum(
+        1 for e in all_estimates if e.value_usd > 100_000.0
+    )
+    report.ad_funded_fraction = ad_funded / sites_seen if sites_seen else 0.0
+    return report
+
+
+@dataclass(frozen=True)
+class HostingIncomeEstimate:
+    """Section 6's OVH estimate for one dataset."""
+
+    isp: str
+    num_publisher_ips: int
+    eur_per_server_month: float
+
+    @property
+    def monthly_income_eur(self) -> float:
+        return self.num_publisher_ips * self.eur_per_server_month
+
+
+def hosting_provider_income(
+    dataset: Dataset,
+    isp: str = "OVH",
+    eur_per_server_month: float = OVH_SERVER_EUR_PER_MONTH,
+) -> HostingIncomeEstimate:
+    """Distinct publisher IPs at ``isp`` x monthly server price."""
+    ips: Set[int] = set()
+    for record in dataset.records.values():
+        ip = record.publisher_ip
+        if ip is None:
+            continue
+        geo = dataset.geoip.lookup(ip)
+        if geo is not None and geo.isp == isp:
+            ips.add(ip)
+    return HostingIncomeEstimate(
+        isp=isp,
+        num_publisher_ips=len(ips),
+        eur_per_server_month=eur_per_server_month,
+    )
+
+
+def consumers_at(dataset: Dataset, isp: str = "OVH") -> int:
+    """How many *consumer* IPs resolve to ``isp``.
+
+    The paper: "we did not observe the presence of OVH users among the
+    consuming peers" -- this should be ~0 for hosting providers.  IPs that
+    were identified as a publisher anywhere are publishers, not consumers
+    (an unidentified publisher sitting in its own swarm would otherwise be
+    indistinguishable from a downloader), so they are cross-checked away,
+    as the authors' comparison of consumer and publisher lists did.
+    """
+    publisher_ips: Set[int] = {
+        r.publisher_ip
+        for r in dataset.records.values()
+        if r.publisher_ip is not None
+    }
+    count = 0
+    seen: Set[int] = set()
+    for record in dataset.records.values():
+        for ip in record.downloader_ips:
+            if ip in seen or ip in publisher_ips:
+                continue
+            seen.add(ip)
+            geo = dataset.geoip.lookup(ip)
+            if geo is not None and geo.isp == isp:
+                count += 1
+    return count

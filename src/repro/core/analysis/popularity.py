@@ -1,0 +1,54 @@
+"""Figure 3: content popularity per publisher group.
+
+For every publisher, the average number of distinct downloaders per
+published torrent; per group, the box-plot summary.  The paper's headline:
+the median top publisher's torrents are ~7x more popular than a standard
+publisher's, Top-HP ~1.5x Top-CI, and fake torrents are the least popular
+(moderation removes them, and burned users warn each other).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.analysis.groups import PublisherGroups
+from repro.core.datasets import Dataset
+from repro.stats.summaries import BoxStats, box_stats
+
+
+@dataclass(frozen=True)
+class PopularityReport:
+    per_group: Dict[str, BoxStats]
+
+    def median_ratio(self, group_a: str, group_b: str) -> float:
+        """Median popularity of group A over group B (e.g. Top over All)."""
+        a = self.per_group[group_a].median
+        b = self.per_group[group_b].median
+        if b == 0:
+            raise ZeroDivisionError(f"group {group_b!r} has zero median popularity")
+        return a / b
+
+
+def publisher_avg_downloaders(
+    groups: PublisherGroups, key: str
+) -> float:
+    records = groups.records_of.get(key, ())
+    if not records:
+        raise KeyError(f"unknown publisher {key!r}")
+    return sum(r.num_downloaders for r in records) / len(records)
+
+
+def popularity_by_group(
+    dataset: Dataset, groups: PublisherGroups
+) -> PopularityReport:
+    """Fig. 3: per-group box plots of avg downloaders/torrent/publisher."""
+    per_group: Dict[str, BoxStats] = {}
+    for name in groups.group_names:
+        values: List[float] = []
+        for key in groups.group(name):
+            if groups.records_of.get(key):
+                values.append(publisher_avg_downloaders(groups, key))
+        if values:
+            per_group[name] = box_stats(values)
+    return PopularityReport(per_group=per_group)

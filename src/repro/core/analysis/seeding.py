@@ -1,0 +1,187 @@
+"""Figure 4: seeding behaviour of each publisher group (Section 4.3).
+
+Three metrics per publisher, estimated purely from sampled tracker
+observations via the Appendix A machinery:
+
+- **(a) average seeding time per torrent** -- reconstructed session time of
+  the publisher's IP(s) inside each of its torrents, averaged;
+- **(b) average number of torrents seeded in parallel** -- time-weighted
+  concurrency of the per-torrent seeding intervals;
+- **(c) aggregated session time** -- length of the union of all seeding
+  intervals across the publisher's torrents.
+
+The offline threshold is derived from the data exactly as the paper derives
+its 4 hours: m = required queries at (N = 90th-pct peak population,
+W = 50 conservative reply size, P = 0.99) times the 90th-pct inter-query
+spacing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.analysis.groups import PublisherGroups
+from repro.core.datasets import Dataset
+from repro.core.sessions import (
+    average_concurrency,
+    estimate_query_spacing,
+    offline_threshold,
+    population_bound,
+    reconstruct_sessions,
+    union_length,
+)
+from repro.stats.summaries import BoxStats, box_stats
+
+CONSERVATIVE_SAMPLE_SIZE = 50  # the paper's worst-case W
+
+
+@dataclass(frozen=True)
+class ThresholdDerivation:
+    """How the offline threshold was derived (Appendix A applied)."""
+
+    population_n: int
+    sample_w: int
+    query_spacing_minutes: float
+    confidence: float
+    threshold_minutes: float
+
+
+@dataclass(frozen=True)
+class PublisherSeedingStats:
+    """Fig. 4 metrics for one publisher (hours)."""
+
+    key: str
+    torrents_measured: int
+    avg_seeding_hours: float
+    parallel_torrents: float
+    aggregated_session_hours: float
+
+
+@dataclass(frozen=True)
+class SeedingReport:
+    threshold: ThresholdDerivation
+    per_group: Dict[str, Dict[str, BoxStats]]  # group -> metric -> stats
+    measured_publishers: Dict[str, int]
+
+    def metric(self, group: str, metric: str) -> BoxStats:
+        return self.per_group[group][metric]
+
+
+def derive_threshold(
+    dataset: Dataset, confidence: float = 0.99
+) -> ThresholdDerivation:
+    """Apply Appendix A to the dataset's own sampling characteristics."""
+    populations = [
+        r.max_population
+        for r in dataset.records.values()
+        if r.num_queries >= 3 and r.max_population > 0
+    ]
+    n = population_bound(populations) if populations else 165
+    spacings: List[float] = []
+    for record in dataset.records.values():
+        if record.num_queries >= 5:
+            try:
+                spacings.append(estimate_query_spacing(record.query_times))
+            except ValueError:
+                continue
+    if spacings:
+        spacings.sort()
+        spacing = spacings[min(len(spacings) - 1, int(0.9 * len(spacings)))]
+    else:
+        spacing = 18.0  # the paper's conservative default
+    w = CONSERVATIVE_SAMPLE_SIZE
+    # Appendix A gives m >= 1 queries; we additionally require at least 3
+    # query spacings before declaring a peer offline, because per-torrent
+    # inter-query gaps jitter around the (90th-percentile) estimate and a
+    # threshold of a single spacing would split sessions on that jitter.
+    threshold = max(offline_threshold(n, w, spacing, confidence), 3.0 * spacing)
+    return ThresholdDerivation(
+        population_n=n,
+        sample_w=w,
+        query_spacing_minutes=spacing,
+        confidence=confidence,
+        threshold_minutes=threshold,
+    )
+
+
+def publisher_seeding_stats(
+    dataset: Dataset,
+    groups: PublisherGroups,
+    key: str,
+    threshold_minutes: float,
+) -> Optional[PublisherSeedingStats]:
+    """Fig. 4 metrics for one publisher; None when nothing is measurable.
+
+    Only the publisher's *own* torrents count (the paper measures seeding of
+    published content, not consumption elsewhere), and only those where its
+    IP was identified so its sightings were recorded.
+    """
+    ips = groups.publisher_ips.get(key)
+    if not ips:
+        return None
+    intervals: List[Tuple[float, float]] = []
+    per_torrent_times: List[float] = []
+    for record in groups.records_of.get(key, ()):
+        sightings = record.sightings_of(ips)
+        if not sightings:
+            continue
+        estimate = reconstruct_sessions(sightings, threshold_minutes)
+        per_torrent_times.append(estimate.total_time)
+        intervals.extend(estimate.sessions)
+    if not per_torrent_times:
+        return None
+    return PublisherSeedingStats(
+        key=key,
+        torrents_measured=len(per_torrent_times),
+        avg_seeding_hours=(sum(per_torrent_times) / len(per_torrent_times)) / 60.0,
+        parallel_torrents=average_concurrency(intervals),
+        aggregated_session_hours=union_length(intervals) / 60.0,
+    )
+
+
+def seeding_by_group(
+    dataset: Dataset,
+    groups: PublisherGroups,
+    confidence: float = 0.99,
+    threshold_minutes: Optional[float] = None,
+) -> SeedingReport:
+    """Fig. 4(a,b,c): per-group box plots of the three seeding metrics."""
+    derivation = derive_threshold(dataset, confidence)
+    if threshold_minutes is not None:
+        derivation = ThresholdDerivation(
+            population_n=derivation.population_n,
+            sample_w=derivation.sample_w,
+            query_spacing_minutes=derivation.query_spacing_minutes,
+            confidence=confidence,
+            threshold_minutes=threshold_minutes,
+        )
+    per_group: Dict[str, Dict[str, BoxStats]] = {}
+    measured: Dict[str, int] = {}
+    for name in groups.group_names:
+        stats: List[PublisherSeedingStats] = []
+        # The Fake group is measured per server IP (Section 3's exception:
+        # usernames are throwaway, the IP is the entity's stable identity).
+        if name == "Fake" and groups.fake_ip_keys:
+            keys = groups.fake_ip_keys
+        else:
+            keys = groups.group(name)
+        for key in keys:
+            entry = publisher_seeding_stats(
+                dataset, groups, key, derivation.threshold_minutes
+            )
+            if entry is not None:
+                stats.append(entry)
+        measured[name] = len(stats)
+        if not stats:
+            continue
+        per_group[name] = {
+            "seeding_time": box_stats([s.avg_seeding_hours for s in stats]),
+            "parallel": box_stats([s.parallel_torrents for s in stats]),
+            "session_time": box_stats(
+                [s.aggregated_session_hours for s in stats]
+            ),
+        }
+    return SeedingReport(
+        threshold=derivation, per_group=per_group, measured_publishers=measured
+    )

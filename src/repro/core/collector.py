@@ -1,0 +1,67 @@
+"""Campaign orchestration: build a world, crawl it, return the dataset.
+
+This is the one-call entry point the examples and benchmarks use::
+
+    from repro.core import run_measurement
+    from repro.simulation import pb10_scenario
+
+    dataset = run_measurement(pb10_scenario(scale=0.4), seed=2010)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.core.crawler import Crawler
+from repro.core.datasets import Dataset
+from repro.simulation.engine import EventScheduler
+from repro.simulation.scenarios import ScenarioConfig
+from repro.simulation.world import World
+
+
+def run_measurement(
+    config: ScenarioConfig,
+    seed: int = 2010,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dataset:
+    """Run one full measurement campaign against a freshly built world."""
+
+    def report(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    report(f"[{config.name}] building world (seed={seed})")
+    world = World.build(config, seed)
+    report(
+        f"[{config.name}] world ready: {world.portal.num_items} torrents, "
+        f"{len(world.population.agents)} agents"
+    )
+
+    scheduler = EventScheduler()
+    crawler_rng = random.Random(random.Random(seed).getrandbits(64) ^ 0xC4A31)
+    crawler = Crawler(world, scheduler, crawler_rng)
+    crawler.start()
+    scheduler.run_until(config.horizon_minutes)
+    report(
+        f"[{config.name}] crawl finished: {scheduler.events_run} events, "
+        f"{crawler.stats['announces']} announces"
+    )
+    return crawler.build_dataset()
+
+
+def run_measurement_with_world(
+    config: ScenarioConfig, seed: int = 2010
+) -> "tuple[Dataset, World]":
+    """Like :func:`run_measurement` but also return the world (ground truth).
+
+    Tests use this to validate the measurement pipeline against the truth;
+    analysis code must only ever receive the :class:`Dataset`.
+    """
+    world = World.build(config, seed)
+    scheduler = EventScheduler()
+    crawler_rng = random.Random(random.Random(seed).getrandbits(64) ^ 0xC4A31)
+    crawler = Crawler(world, scheduler, crawler_rng)
+    crawler.start()
+    scheduler.run_until(config.horizon_minutes)
+    return crawler.build_dataset(), world

@@ -1,0 +1,270 @@
+"""The measurement crawler (Section 2).
+
+One crawler instance drives a whole campaign on the event scheduler:
+
+1. **Discovery** -- poll the portal's RSS feed every few minutes; each new
+   entry yields the username (where the feed carries it) and triggers an
+   immediate .torrent download and tracker announce, usually within minutes
+   of the swarm's birth.
+2. **Identification** -- apply the single-seeder/bitfield rule
+   (:mod:`repro.core.identification`); successfully identified publisher
+   IPs join a global *watchlist*.
+3. **Monitoring** -- several geographically distributed vantage machines
+   each re-announce at the tracker-advertised interval (10--15 min),
+   staggered so the aggregate sampling resolution is higher than any single
+   client could achieve without being blacklisted.  Monitoring stops after
+   ``empty_replies_to_stop`` consecutive empty replies.
+
+Every tracker response is processed into the campaign's
+:class:`~repro.core.datasets.TorrentRecord`: distinct downloader IPs,
+sightings of watched (publisher) IPs, query times and the peak population
+used by the Appendix A estimator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Set
+
+from repro.core.datasets import Dataset, IdentificationOutcome, TorrentRecord
+from repro.core.identification import identify_publisher
+from repro.peerwire import BitfieldProber
+from repro.portal.rss import RssEntry
+from repro.simulation.engine import EventScheduler
+from repro.simulation.scenarios import CrawlerSettings, ScenarioConfig
+from repro.simulation.world import World
+from repro.torrent import parse_torrent
+from repro.tracker import AnnounceRequest, TrackerError, decode_announce_response
+from repro.websites import default_monitor_panel
+
+_CRAWLER_PEER_ID = b"-RP1000-repro-crawl1"
+# Vantage machines live outside the synthetic address plan (10.66.x.x), so
+# they can never collide with a world address.
+_VANTAGE_BASE_IP = (10 << 24) | (66 << 16)
+
+
+class Crawler:
+    """One measurement campaign against one world."""
+
+    def __init__(
+        self,
+        world: World,
+        scheduler: EventScheduler,
+        rng: random.Random,
+        settings: Optional[CrawlerSettings] = None,
+    ) -> None:
+        self.world = world
+        self.scheduler = scheduler
+        self.rng = rng
+        self.settings = settings if settings is not None else world.config.crawler
+        self.records: Dict[int, TorrentRecord] = {}
+        self.watchlist: Set[int] = set()
+        self._vantage_ips = [
+            _VANTAGE_BASE_IP + index for index in range(self.settings.vantage_count)
+        ]
+        self._probers: Dict[int, BitfieldProber] = {}
+        self._last_rss_time = float("-inf")
+        self._hard_stop = world.config.horizon_minutes
+        self.stats = {
+            "rss_polls": 0,
+            "announces": 0,
+            "announce_failures": 0,
+            "probes": 0,
+            "torrents_discovered": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Campaign control
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first RSS poll; everything else cascades from it."""
+        self.scheduler.schedule(self.scheduler.clock.now, self._poll_rss)
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    def _poll_rss(self) -> None:
+        now = self.scheduler.clock.now
+        self.stats["rss_polls"] += 1
+        entries = self.world.portal.feed.entries_between(self._last_rss_time, now)
+        self._last_rss_time = now
+        for entry in entries:
+            self._discover(entry, now)
+        if now + self.settings.rss_poll_interval <= self.world.config.window_minutes:
+            self.scheduler.schedule_after(self.settings.rss_poll_interval, self._poll_rss)
+
+    def _discover(self, entry: RssEntry, now: float) -> None:
+        record = TorrentRecord(
+            torrent_id=entry.torrent_id,
+            infohash=b"\x00" * 20,  # filled in after the .torrent download
+            title=entry.title,
+            category=entry.category,
+            size_bytes=entry.size_bytes,
+            publish_time=entry.published_time,
+            username=entry.username,
+            discovered_time=now,
+        )
+        self.records[entry.torrent_id] = record
+        self.stats["torrents_discovered"] += 1
+
+        torrent_bytes = self.world.portal.get_torrent_file(entry.torrent_id, now)
+        if torrent_bytes is None:
+            record.identification = IdentificationOutcome.TORRENT_GONE
+            record.done = True
+            return
+        meta = parse_torrent(torrent_bytes)
+        record.infohash = meta.infohash
+        record.bundled_files = tuple(
+            f.path for f in meta.files if f.path != meta.name
+        )
+        self._probers[entry.torrent_id] = BitfieldProber(
+            self.world.swarm_for(entry.torrent_id),
+            meta.num_pieces,
+            _CRAWLER_PEER_ID,
+        )
+
+        # Immediate first contact from vantage 0.
+        response = self._announce(record, vantage=0, now=now)
+        if response is not None:
+            record.first_contact_time = now
+            record.first_seeders = response.seeders
+            record.first_leechers = response.leechers
+            self._attempt_identification(record, response, now)
+
+        if self.settings.monitor_swarms:
+            self._schedule_vantage_polls(record, now, response)
+        else:
+            record.done = True
+            record.monitoring_ended = now
+
+    # ------------------------------------------------------------------
+    # Tracker interaction
+    # ------------------------------------------------------------------
+    def _announce(self, record: TorrentRecord, vantage: int, now: float):
+        request = AnnounceRequest(
+            infohash=record.infohash,
+            client_ip=self._vantage_ips[vantage],
+            numwant=self.settings.numwant,
+        )
+        raw = self.world.tracker.announce(request, now)
+        self.stats["announces"] += 1
+        try:
+            response = decode_announce_response(raw)
+        except TrackerError:
+            self.stats["announce_failures"] += 1
+            return None
+        self._process_response(record, response, now)
+        return response
+
+    def _process_response(self, record: TorrentRecord, response, now: float) -> None:
+        record.query_times.append(now)
+        record.seeder_counts.append(response.seeders)
+        record.leecher_counts.append(response.leechers)
+        record.max_population = max(record.max_population, response.total_peers)
+        for ip in response.peer_ips:
+            if ip in self.watchlist:
+                record.record_sighting(ip, now)
+            if ip != record.publisher_ip:
+                record.downloader_ips.add(ip)
+
+    # ------------------------------------------------------------------
+    # Identification
+    # ------------------------------------------------------------------
+    def _attempt_identification(self, record: TorrentRecord, response, now: float) -> None:
+        prober = self._probers.get(record.torrent_id)
+        if prober is None:
+            return
+        result = identify_publisher(
+            response, prober, now, max_probe_peers=self.settings.max_probe_peers
+        )
+        record.identification = result.outcome
+        if result.publisher_ip is not None:
+            record.publisher_ip = result.publisher_ip
+            record.identified_time = now
+            self.watchlist.add(result.publisher_ip)
+            # The publisher's own sightings start with this observation, and
+            # it must not be counted as a downloader of its own torrent.
+            record.downloader_ips.discard(result.publisher_ip)
+            record.record_sighting(result.publisher_ip, now)
+
+    def _identification_pending(self, record: TorrentRecord, now: float) -> bool:
+        if record.identification is not IdentificationOutcome.NO_SEEDER:
+            return False
+        deadline = record.discovered_time + self.settings.identification_retry_minutes
+        return now <= deadline
+
+    # ------------------------------------------------------------------
+    # Monitoring
+    # ------------------------------------------------------------------
+    def _schedule_vantage_polls(self, record: TorrentRecord, now: float, response) -> None:
+        interval = (
+            response.interval_seconds / 60.0
+            if response is not None
+            else self.world.tracker.config.max_interval
+        )
+        for vantage in range(self.settings.vantage_count):
+            # Stagger vantages across one interval for higher aggregate
+            # resolution (the paper's multi-machine trick).  Every vantage
+            # waits at least one full interval before its first poll so no
+            # vantage ever violates the tracker's per-client rate limit
+            # (vantage 0 already announced at discovery time).
+            offset = interval * (1.0 + vantage / self.settings.vantage_count)
+            at = now + offset
+            if at <= self._hard_stop:
+                self.scheduler.schedule(at, self._monitor_poll, record.torrent_id, vantage)
+
+    def _monitor_poll(self, torrent_id: int, vantage: int) -> None:
+        record = self.records[torrent_id]
+        if record.done:
+            return
+        now = self.scheduler.clock.now
+        response = self._announce(record, vantage=vantage, now=now)
+        if response is None:
+            # Rate-limited or tracker hiccup: retry after the safe interval.
+            at = now + self.world.tracker.config.max_interval
+            if at <= self._hard_stop:
+                self.scheduler.schedule(at, self._monitor_poll, torrent_id, vantage)
+            return
+
+        if self._identification_pending(record, now):
+            self._attempt_identification(record, response, now)
+
+        if response.total_peers == 0:
+            record.empty_streak += 1
+        else:
+            record.empty_streak = 0
+        if record.empty_streak >= self.settings.empty_replies_to_stop:
+            record.done = True
+            record.monitoring_ended = now
+            return
+
+        interval = max(response.interval_seconds / 60.0,
+                       self.world.tracker.config.min_interval)
+        at = now + interval
+        if at <= self._hard_stop:
+            self.scheduler.schedule(at, self._monitor_poll, torrent_id, vantage)
+        else:
+            record.done = True
+            record.monitoring_ended = self._hard_stop
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def build_dataset(self) -> Dataset:
+        config: ScenarioConfig = self.world.config
+        self.stats["probes"] = sum(
+            prober.probes_sent for prober in self._probers.values()
+        )
+        return Dataset(
+            name=config.name,
+            config=config,
+            start_time=0.0,
+            end_time=config.window_minutes,
+            analysis_time=config.horizon_minutes,
+            records=self.records,
+            geoip=self.world.geoip,
+            portal=self.world.portal,
+            web_directory=self.world.web_directory,
+            monitor_panel=default_monitor_panel(),
+            crawler_stats=dict(self.stats),
+        )

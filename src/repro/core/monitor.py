@@ -1,0 +1,220 @@
+"""Section 7: the continuous content-publishing monitoring application.
+
+Unlike the full measurement campaign, the monitor "makes only one connection
+to the tracker just after we learn of a new torrent from The Pirate Bay RSS
+feed": it tracks publishers, not downloaders.  Each new publication is
+enriched with GeoIP data (ISP, city, country) and stored in the database;
+profit-driven publishers found by the incentives analysis get an annotated
+publisher page, and fake publishers can be flagged so that client-facing
+queries filter them out (the feature the paper says it is working on).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.identification import identify_publisher
+from repro.core.storage import MonitorStore, PublicationRow, PublisherRow
+from repro.geoip import format_ip
+from repro.peerwire import BitfieldProber
+from repro.portal.rss import RssEntry
+from repro.simulation.engine import EventScheduler
+from repro.simulation.world import World
+from repro.torrent import parse_torrent
+from repro.tracker import AnnounceRequest, TrackerError, decode_announce_response
+
+_MONITOR_PEER_ID = b"-RP1000-repro-monit1"
+_MONITOR_IP = (10 << 24) | (77 << 16) | 1
+
+
+class ContentPublishingMonitor:
+    """Live monitor feeding the :class:`MonitorStore`."""
+
+    def __init__(
+        self,
+        world: World,
+        scheduler: EventScheduler,
+        store: Optional[MonitorStore] = None,
+        poll_interval: float = 5.0,
+        max_probe_peers: int = 20,
+        verify_content_fraction: float = 0.0,
+    ) -> None:
+        """``verify_content_fraction`` enables the fake-content filter the
+        paper announces as future work: that fraction of new torrents gets a
+        sample of pieces downloaded and hash-checked an hour after
+        publication; a failed check flags the publishing account as fake."""
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be > 0")
+        if not 0.0 <= verify_content_fraction <= 1.0:
+            raise ValueError("verify_content_fraction must be in [0, 1]")
+        self.world = world
+        self.scheduler = scheduler
+        self.store = store if store is not None else MonitorStore()
+        self.poll_interval = poll_interval
+        self.max_probe_peers = max_probe_peers
+        self.verify_content_fraction = verify_content_fraction
+        self._rng = random.Random(0xB17)
+        self._last_rss_time = float("-inf")
+        self._stop_at: Optional[float] = None
+        self.publications_seen = 0
+        self.publishers_located = 0
+        self.contents_verified = 0
+        self.fakes_caught = 0
+
+    # ------------------------------------------------------------------
+    # Live operation
+    # ------------------------------------------------------------------
+    def run_until(self, end_time: float) -> None:
+        """Monitor the portal feed until ``end_time`` (simulated minutes)."""
+        self._stop_at = end_time
+        self.scheduler.schedule(self.scheduler.clock.now, self._poll)
+        self.scheduler.run_until(end_time)
+
+    def _poll(self) -> None:
+        now = self.scheduler.clock.now
+        entries = self.world.portal.feed.entries_between(self._last_rss_time, now)
+        self._last_rss_time = now
+        for entry in entries:
+            self._ingest(entry, now)
+        if self._stop_at is None or now + self.poll_interval <= self._stop_at:
+            self.scheduler.schedule_after(self.poll_interval, self._poll)
+
+    def _ingest(self, entry: RssEntry, now: float) -> None:
+        self.publications_seen += 1
+        publisher_ip: Optional[int] = None
+        torrent_bytes = self.world.portal.get_torrent_file(entry.torrent_id, now)
+        if torrent_bytes is not None:
+            meta = parse_torrent(torrent_bytes)
+            raw = self.world.tracker.announce(
+                AnnounceRequest(
+                    infohash=meta.infohash, client_ip=_MONITOR_IP, numwant=200
+                ),
+                now,
+            )
+            try:
+                response = decode_announce_response(raw)
+            except TrackerError:
+                response = None
+            if response is not None:
+                prober = BitfieldProber(
+                    self.world.swarm_for(entry.torrent_id),
+                    meta.num_pieces,
+                    _MONITOR_PEER_ID,
+                )
+                result = identify_publisher(
+                    response, prober, now, max_probe_peers=self.max_probe_peers
+                )
+                publisher_ip = result.publisher_ip
+
+        if (
+            torrent_bytes is not None
+            and self.verify_content_fraction > 0.0
+            and self._rng.random() < self.verify_content_fraction
+        ):
+            # Verify an hour after publication, when the (sole) seeder of a
+            # decoy is still around but honest swarms have finished peers.
+            self.scheduler.schedule(
+                now + 60.0, self._verify_content, entry, meta
+            )
+
+        isp = kind = city = country = None
+        if publisher_ip is not None:
+            self.publishers_located += 1
+            geo = self.world.geoip.lookup(publisher_ip)
+            if geo is not None:
+                isp, kind = geo.isp, geo.kind.value
+                city, country = geo.city, geo.country
+        self.store.insert_publication(
+            PublicationRow(
+                torrent_id=entry.torrent_id,
+                title=entry.title,
+                category=entry.category.value,
+                size_bytes=entry.size_bytes,
+                username=entry.username,
+                publish_time=entry.published_time,
+                publisher_ip=(
+                    format_ip(publisher_ip) if publisher_ip is not None else None
+                ),
+                isp=isp,
+                isp_kind=kind,
+                city=city,
+                country=country,
+            )
+        )
+
+    def _verify_content(self, entry: RssEntry, meta) -> None:
+        """The realised fake filter: sample pieces, hash-check, flag."""
+        from repro.peerwire.verification import ContentVerdict, verify_content
+
+        swarm = self.world.swarm_for(entry.torrent_id)
+        result = verify_content(
+            swarm, meta, self.scheduler.clock.now, self._rng
+        )
+        if result.verdict is ContentVerdict.UNREACHABLE:
+            return
+        self.contents_verified += 1
+        if result.verdict is ContentVerdict.CORRUPT and entry.username:
+            self.fakes_caught += 1
+            self.flag_fake(
+                entry.username,
+                note=f"piece hash check failed on torrent {entry.torrent_id}",
+            )
+
+    # ------------------------------------------------------------------
+    # Annotations (fed by the offline analysis)
+    # ------------------------------------------------------------------
+    def annotate_profit_driven(
+        self, username: str, promoted_url: str, business_type: str
+    ) -> None:
+        """Create the per-publisher page for a profit-driven publisher."""
+        self.store.annotate_publisher(
+            PublisherRow(
+                username=username,
+                promoted_url=promoted_url,
+                business_type=business_type,
+                profit_driven=True,
+                fake=False,
+                note=None,
+            )
+        )
+
+    def ingest_analysis(self, incentives, fake_usernames) -> int:
+        """Feed an offline analysis back into the live database.
+
+        ``incentives`` is a
+        :class:`~repro.core.analysis.incentives.IncentivesReport`;
+        ``fake_usernames`` the detected fake set.  Creates the per-publisher
+        pages for profit-driven publishers and flags fake accounts; returns
+        the number of annotations written.
+        """
+        written = 0
+        for key in incentives.profit_driven():
+            publisher = incentives.publishers[key]
+            url = publisher.website.url if publisher.website else (
+                publisher.evidence.urls[0] if publisher.evidence.urls else ""
+            )
+            business = (
+                publisher.website.business_type.value
+                if publisher.website
+                else publisher.publisher_class
+            )
+            self.annotate_profit_driven(key, url, business)
+            written += 1
+        for username in fake_usernames:
+            self.flag_fake(username)
+            written += 1
+        return written
+
+    def flag_fake(self, username: str, note: str = "") -> None:
+        """Flag a fake publisher so client queries can filter it out."""
+        self.store.annotate_publisher(
+            PublisherRow(
+                username=username,
+                promoted_url=None,
+                business_type=None,
+                profit_driven=False,
+                fake=True,
+                note=note or "detected fake publisher",
+            )
+        )

@@ -1,0 +1,214 @@
+"""SQLite storage for the Section 7 monitoring application.
+
+The paper's system "stores all this information in a database" and serves a
+"simple web-based interface to query this database".  This module is that
+database layer: one table of publications enriched with GeoIP data, one
+table of publisher annotations (promoted URL / business type for
+profit-driven publishers, fake flags), and the query API the interface
+exposes.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS publications (
+    torrent_id   INTEGER PRIMARY KEY,
+    title        TEXT NOT NULL,
+    category     TEXT NOT NULL,
+    size_bytes   INTEGER NOT NULL,
+    username     TEXT,
+    publish_time REAL NOT NULL,
+    publisher_ip TEXT,
+    isp          TEXT,
+    isp_kind     TEXT,
+    city         TEXT,
+    country      TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_pub_username ON publications(username);
+CREATE INDEX IF NOT EXISTS idx_pub_category ON publications(category);
+
+CREATE TABLE IF NOT EXISTS publishers (
+    username       TEXT PRIMARY KEY,
+    promoted_url   TEXT,
+    business_type  TEXT,
+    profit_driven  INTEGER NOT NULL DEFAULT 0,
+    fake           INTEGER NOT NULL DEFAULT 0,
+    note           TEXT
+);
+"""
+
+
+@dataclass(frozen=True)
+class PublicationRow:
+    torrent_id: int
+    title: str
+    category: str
+    size_bytes: int
+    username: Optional[str]
+    publish_time: float
+    publisher_ip: Optional[str]
+    isp: Optional[str]
+    isp_kind: Optional[str]
+    city: Optional[str]
+    country: Optional[str]
+
+
+@dataclass(frozen=True)
+class PublisherRow:
+    username: str
+    promoted_url: Optional[str]
+    business_type: Optional[str]
+    profit_driven: bool
+    fake: bool
+    note: Optional[str]
+
+
+class MonitorStore:
+    """The monitoring system's database (``:memory:`` by default)."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "MonitorStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def insert_publication(self, row: PublicationRow) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO publications VALUES (?,?,?,?,?,?,?,?,?,?,?)",
+            (
+                row.torrent_id,
+                row.title,
+                row.category,
+                row.size_bytes,
+                row.username,
+                row.publish_time,
+                row.publisher_ip,
+                row.isp,
+                row.isp_kind,
+                row.city,
+                row.country,
+            ),
+        )
+        self._conn.commit()
+
+    def annotate_publisher(self, row: PublisherRow) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO publishers VALUES (?,?,?,?,?,?)",
+            (
+                row.username,
+                row.promoted_url,
+                row.business_type,
+                int(row.profit_driven),
+                int(row.fake),
+                row.note,
+            ),
+        )
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # Queries (the web interface's backend)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _to_publication(row: Tuple) -> PublicationRow:
+        return PublicationRow(*row)
+
+    def publications_by_username(self, username: str) -> List[PublicationRow]:
+        cur = self._conn.execute(
+            "SELECT * FROM publications WHERE username = ? ORDER BY publish_time",
+            (username,),
+        )
+        return [self._to_publication(r) for r in cur.fetchall()]
+
+    def publications_by_category(
+        self, category: str, exclude_fake: bool = False
+    ) -> List[PublicationRow]:
+        if exclude_fake:
+            cur = self._conn.execute(
+                """
+                SELECT p.* FROM publications p
+                LEFT JOIN publishers u ON p.username = u.username
+                WHERE p.category = ? AND COALESCE(u.fake, 0) = 0
+                ORDER BY p.publish_time
+                """,
+                (category,),
+            )
+        else:
+            cur = self._conn.execute(
+                "SELECT * FROM publications WHERE category = ? ORDER BY publish_time",
+                (category,),
+            )
+        return [self._to_publication(r) for r in cur.fetchall()]
+
+    def top_publishers(self, limit: int = 20) -> List[Tuple[str, int]]:
+        """Usernames ranked by number of publications."""
+        cur = self._conn.execute(
+            """
+            SELECT username, COUNT(*) AS n FROM publications
+            WHERE username IS NOT NULL
+            GROUP BY username ORDER BY n DESC, username LIMIT ?
+            """,
+            (limit,),
+        )
+        return list(cur.fetchall())
+
+    def publishers_for_category(
+        self, category: str, min_torrents: int = 2
+    ) -> List[Tuple[str, int]]:
+        """The paper's e-books use case: who publishes lots of category X?"""
+        cur = self._conn.execute(
+            """
+            SELECT username, COUNT(*) AS n FROM publications
+            WHERE category = ? AND username IS NOT NULL
+            GROUP BY username HAVING n >= ? ORDER BY n DESC, username
+            """,
+            (category, min_torrents),
+        )
+        return list(cur.fetchall())
+
+    def publisher(self, username: str) -> Optional[PublisherRow]:
+        cur = self._conn.execute(
+            "SELECT * FROM publishers WHERE username = ?", (username,)
+        )
+        row = cur.fetchone()
+        if row is None:
+            return None
+        return PublisherRow(
+            username=row[0],
+            promoted_url=row[1],
+            business_type=row[2],
+            profit_driven=bool(row[3]),
+            fake=bool(row[4]),
+            note=row[5],
+        )
+
+    def fake_usernames(self) -> List[str]:
+        cur = self._conn.execute(
+            "SELECT username FROM publishers WHERE fake = 1 ORDER BY username"
+        )
+        return [r[0] for r in cur.fetchall()]
+
+    def count_publications(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM publications").fetchone()[0]
+
+    def isp_breakdown(self) -> List[Tuple[str, int]]:
+        cur = self._conn.execute(
+            """
+            SELECT isp, COUNT(*) AS n FROM publications
+            WHERE isp IS NOT NULL GROUP BY isp ORDER BY n DESC
+            """
+        )
+        return list(cur.fetchall())

@@ -1,0 +1,44 @@
+"""Synthetic GeoIP substrate (the paper's MaxMind dependency).
+
+The paper maps every observed IP address to its ISP and geographical
+location with the MaxMind database, then classifies ISPs into *hosting
+providers* and *commercial ISPs* by inspecting their public information
+(Section 3.2).  We replace the commercial database with a synthetic but
+structurally faithful address plan:
+
+- every ISP owns a set of /16 prefixes;
+- hosting providers own *few* prefixes tied to *few* data-center locations
+  (OVH: a handful of /16s in a couple of European cities);
+- commercial ISPs own *many* prefixes scattered over *many* cities
+  (Comcast: hundreds of prefixes across the US).
+
+That prefix/location structure is precisely what the paper's Table 3 uses to
+discriminate the two publisher classes, so the substitution preserves the
+analysis-relevant behaviour.
+"""
+
+from repro.geoip.isps import (
+    IspKind,
+    IspProfile,
+    default_isp_profiles,
+)
+from repro.geoip.database import (
+    AddressPlan,
+    GeoIpDatabase,
+    GeoRecord,
+    format_ip,
+    parse_ip,
+    prefix_of,
+)
+
+__all__ = [
+    "IspKind",
+    "IspProfile",
+    "default_isp_profiles",
+    "AddressPlan",
+    "GeoIpDatabase",
+    "GeoRecord",
+    "format_ip",
+    "parse_ip",
+    "prefix_of",
+]

@@ -1,0 +1,130 @@
+"""ISP registry: the providers appearing in the paper plus filler ISPs.
+
+Table 2 of the paper lists the top-10 ISPs hosting content publishers in each
+dataset.  We model the named ones explicitly (OVH, tzulo, FDCservers, 4RWEB,
+Keyweb, SoftLayer, NetDirect, Comcast, Road Runner, Virgin Media, SBC,
+Telefonica, ...) and add generic consumer ISPs so downloader traffic has a
+realistic ISP mix.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+class IspKind(enum.Enum):
+    """The paper's two-way classification of publisher networks."""
+
+    HOSTING_PROVIDER = "Hosting Provider"
+    COMMERCIAL_ISP = "Commercial ISP"
+
+
+@dataclass(frozen=True)
+class IspProfile:
+    """Static description of one ISP in the synthetic address plan.
+
+    ``num_prefixes`` /16 prefixes are allocated to the ISP; each prefix is
+    pinned to one of ``cities``.  Hosting providers get few prefixes and few
+    cities (data centers); commercial ISPs get many of both.
+    """
+
+    name: str
+    kind: IspKind
+    country: str
+    num_prefixes: int
+    cities: Tuple[str, ...]
+    filler: bool = False  # generic consumer ISP, not named in the paper
+
+    def __post_init__(self) -> None:
+        if self.num_prefixes < 1:
+            raise ValueError(f"{self.name}: num_prefixes must be >= 1")
+        if not self.cities:
+            raise ValueError(f"{self.name}: at least one city required")
+
+
+def _us_cities(n: int) -> Tuple[str, ...]:
+    base = [
+        "New York", "Chicago", "Houston", "Phoenix", "Philadelphia",
+        "San Antonio", "San Diego", "Dallas", "San Jose", "Austin",
+        "Denver", "Seattle", "Boston", "Detroit", "Memphis", "Portland",
+        "Baltimore", "Milwaukee", "Albuquerque", "Tucson", "Fresno",
+        "Sacramento", "Kansas City", "Atlanta", "Omaha", "Raleigh",
+        "Miami", "Oakland", "Tulsa", "Cleveland", "Wichita", "Arlington",
+    ]
+    return tuple(
+        base[i % len(base)] + ("" if i < len(base) else f" #{i // len(base)}")
+        for i in range(n)
+    )
+
+
+def default_isp_profiles() -> List[IspProfile]:
+    """The default registry used by every scenario.
+
+    The named hosting providers are the ones the paper singles out; prefix
+    and city counts follow Table 3's structure (OVH: a few /16s, a couple of
+    locations; Comcast: hundreds of prefixes, hundreds of locations).
+    """
+    hp = IspKind.HOSTING_PROVIDER
+    ci = IspKind.COMMERCIAL_ISP
+    profiles = [
+        # Hosting providers (paper: OVH dominates; tzulo/FDCservers/4RWEB
+        # host most fake publishers).
+        IspProfile("OVH", hp, "FR", 7, ("Roubaix", "Paris")),
+        IspProfile("tzulo", hp, "US", 2, ("Chicago",)),
+        IspProfile("FDCservers", hp, "US", 3, ("Chicago", "Denver")),
+        IspProfile("4RWEB", hp, "US", 2, ("Dallas",)),
+        IspProfile("Keyweb", hp, "DE", 2, ("Erfurt",)),
+        IspProfile("SoftLayer Tech.", hp, "US", 4, ("Dallas", "Seattle")),
+        IspProfile("NetDirect", hp, "DE", 2, ("Frankfurt",)),
+        IspProfile("NetWork Operations Center", hp, "US", 2, ("Scranton",)),
+        IspProfile("Leaseweb", hp, "NL", 3, ("Amsterdam",)),
+        IspProfile("Hetzner", hp, "DE", 3, ("Nuremberg", "Falkenstein")),
+        # Commercial ISPs named in Table 2.
+        IspProfile("Comcast", ci, "US", 280, _us_cities(280)),
+        IspProfile("Road Runner", ci, "US", 160, _us_cities(160)),
+        IspProfile("SBC", ci, "US", 140, _us_cities(140)),
+        IspProfile("Verizon", ci, "US", 150, _us_cities(150)),
+        IspProfile("Virgin Media", ci, "GB", 60, tuple(
+            f"UK City {i}" for i in range(60))),
+        IspProfile("Telefonica", ci, "ES", 50, tuple(
+            f"ES City {i}" for i in range(50))),
+        IspProfile("Jazz Telecom.", ci, "ES", 25, tuple(
+            f"ES City {i}" for i in range(25))),
+        IspProfile("Telecom Italia", ci, "IT", 55, tuple(
+            f"IT City {i}" for i in range(55))),
+        IspProfile("Romania DS", ci, "RO", 25, tuple(
+            f"RO City {i}" for i in range(25))),
+        IspProfile("MTT Network", ci, "RU", 20, tuple(
+            f"RU City {i}" for i in range(20))),
+        IspProfile("Comcor-TV", ci, "RU", 22, tuple(
+            f"RU City {i}" for i in range(22))),
+        IspProfile("Open Computer Network", ci, "JP", 40, tuple(
+            f"JP City {i}" for i in range(40))),
+        IspProfile("Cosema", ci, "SE", 15, tuple(
+            f"SE City {i}" for i in range(15))),
+        IspProfile("NIB", ci, "AU", 15, tuple(
+            f"AU City {i}" for i in range(15))),
+    ]
+    # Filler consumer ISPs so downloader populations are not concentrated in
+    # the named ISPs (the paper observed 35M distinct downloader IPs spread
+    # world-wide).
+    filler_countries = ["US", "GB", "DE", "FR", "ES", "IT", "PL", "BR",
+                        "CA", "NL", "SE", "AU", "IN", "JP", "RU", "MX"]
+    for index, country in enumerate(filler_countries):
+        profiles.append(
+            IspProfile(
+                name=f"{country} Broadband {index}",
+                kind=ci,
+                country=country,
+                num_prefixes=30,
+                cities=tuple(f"{country} Town {i}" for i in range(30)),
+                filler=True,
+            )
+        )
+    return profiles
+
+
+# Hosting providers the paper identifies as the main base of fake publishers.
+FAKE_PUBLISHER_HOSTS = ("tzulo", "FDCservers", "4RWEB")

@@ -1,0 +1,31 @@
+"""BitTorrent portal simulator (The Pirate Bay / Mininova stand-in).
+
+A portal indexes .torrent files, serves per-content web pages (title,
+category, file size, publisher username, and the free-text *textbox* where
+profit-driven publishers plant their promo URLs), exposes an RSS feed of new
+uploads, maintains per-user pages with the full publication history
+(Section 5.2's longitudinal view), and runs moderation: detected fake
+content is removed and the publishing account banned -- which is both why
+fake swarms stay unpopular (Section 4.2) and why fake accounts' user pages
+are unavailable afterwards (footnote 8).
+"""
+
+from repro.portal.categories import Category, coarse_group
+from repro.portal.accounts import AccountRegistry, UserAccount
+from repro.portal.rss import RssEntry, RssFeed
+from repro.portal.pages import ContentPage, UserPage
+from repro.portal.portal import DownloadExperience, Portal, PortalConfig
+
+__all__ = [
+    "Category",
+    "coarse_group",
+    "AccountRegistry",
+    "UserAccount",
+    "RssEntry",
+    "RssFeed",
+    "ContentPage",
+    "UserPage",
+    "DownloadExperience",
+    "Portal",
+    "PortalConfig",
+]

@@ -1,0 +1,90 @@
+"""Publisher accounts and their publication histories.
+
+The portal keeps, per username, the full list of publications since account
+creation.  The paper's Section 5.2 scrapes exactly this (the "username page")
+to compute publisher lifetime and average publishing rate.  Histories can
+reach tens of thousands of entries for five-year-old accounts publishing 80
+contents/day, so the pre-measurement history is stored in aggregate (first
+publication time + count) while in-window publications are stored
+individually -- the longitudinal analysis needs only (first, last, count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class UserAccount:
+    """One portal account."""
+
+    username: str
+    created_time: float  # may be far negative (years before the window)
+    historical_count: int = 0  # publications before the measurement window
+    first_publication_time: Optional[float] = None
+    publications: List[Tuple[float, int]] = field(default_factory=list)
+    banned: bool = False
+    ban_time: Optional[float] = None
+
+    def record_publication(self, time: float, torrent_id: int) -> None:
+        if self.banned and self.ban_time is not None and time >= self.ban_time:
+            raise RuntimeError(f"banned account {self.username} cannot publish")
+        if self.first_publication_time is None:
+            self.first_publication_time = time
+        self.publications.append((time, torrent_id))
+
+    def seed_history(self, first_time: float, count: int) -> None:
+        """Record the aggregate pre-window history."""
+        if count < 0:
+            raise ValueError("historical count must be >= 0")
+        self.historical_count = count
+        if count > 0:
+            self.first_publication_time = first_time
+
+    @property
+    def total_publications(self) -> int:
+        return self.historical_count + len(self.publications)
+
+    @property
+    def last_publication_time(self) -> Optional[float]:
+        if self.publications:
+            return self.publications[-1][0]
+        return self.first_publication_time if self.historical_count else None
+
+
+class AccountRegistry:
+    """All accounts of one portal."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[str, UserAccount] = {}
+
+    def create(self, username: str, created_time: float) -> UserAccount:
+        if username in self._accounts:
+            raise ValueError(f"username {username!r} already exists")
+        account = UserAccount(username=username, created_time=created_time)
+        self._accounts[username] = account
+        return account
+
+    def get_or_create(self, username: str, created_time: float) -> UserAccount:
+        account = self._accounts.get(username)
+        if account is None:
+            account = self.create(username, created_time)
+        return account
+
+    def get(self, username: str) -> Optional[UserAccount]:
+        return self._accounts.get(username)
+
+    def ban(self, username: str, time: float) -> None:
+        account = self._accounts.get(username)
+        if account is None:
+            raise KeyError(f"unknown username {username!r}")
+        if not account.banned:
+            account.banned = True
+            account.ban_time = time
+
+    def __len__(self) -> int:
+        return len(self._accounts)
+
+    def usernames(self) -> List[str]:
+        return list(self._accounts)

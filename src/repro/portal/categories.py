@@ -1,0 +1,47 @@
+"""Content category taxonomy (The Pirate Bay's, as the paper uses it).
+
+Figure 2 of the paper breaks published content down by type; Video is
+"composed mainly by Movies, TV-Shows and Porn content".  We keep the fine
+categories and provide the coarse grouping the figure reports.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Category(enum.Enum):
+    """Fine-grained content categories."""
+
+    MOVIES = "Video/Movies"
+    TV_SHOWS = "Video/TV shows"
+    PORN = "Video/Porn"
+    MUSIC = "Audio/Music"
+    AUDIO_BOOKS = "Audio/Audio books"
+    APPLICATIONS = "Applications"
+    GAMES = "Games"
+    EBOOKS = "Other/E-books"
+    PICTURES = "Other/Pictures"
+    OTHER = "Other/Other"
+
+
+_COARSE = {
+    Category.MOVIES: "Video",
+    Category.TV_SHOWS: "Video",
+    Category.PORN: "Video",
+    Category.MUSIC: "Audio",
+    Category.AUDIO_BOOKS: "Audio",
+    Category.APPLICATIONS: "Software",
+    Category.GAMES: "Games",
+    Category.EBOOKS: "E-books",
+    Category.PICTURES: "Other",
+    Category.OTHER: "Other",
+}
+
+
+def coarse_group(category: Category) -> str:
+    """The coarse content-type group Fig. 2 plots."""
+    return _COARSE[category]
+
+
+ALL_COARSE_GROUPS = tuple(sorted(set(_COARSE.values())))

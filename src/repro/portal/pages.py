@@ -1,0 +1,68 @@
+"""Web-page views the portal serves.
+
+Two page types matter to the study:
+
+- the **content page**: title, category, size, publisher username and the
+  free-text description *textbox* -- the paper found the textbox to be the
+  most common place where profit-driven publishers advertise their site;
+- the **user page**: a publisher's full publication history, the source of
+  Section 5.2's lifetime / publishing-rate longitudinal analysis.  User
+  pages of banned (fake) accounts are gone, exactly as the authors found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.portal.categories import Category
+
+
+@dataclass(frozen=True)
+class ContentPage:
+    """The public web page of one published torrent."""
+
+    torrent_id: int
+    title: str
+    category: Category
+    size_bytes: int
+    username: str
+    upload_time: float
+    description: str  # the textbox
+
+
+@dataclass(frozen=True)
+class UserPage:
+    """The public page of one publisher account.
+
+    Exposes what the longitudinal analysis scrapes: when the account first
+    and last published and how many items in total.  (The portal renders the
+    individual items too; the analysis only needs the aggregates, and
+    pre-window history is stored in aggregate form.)
+    """
+
+    username: str
+    first_publication_time: Optional[float]
+    last_publication_time: Optional[float]
+    total_publications: int
+    recent_torrent_ids: Tuple[int, ...]
+
+    @property
+    def lifetime_days(self) -> float:
+        """Days between first and last publication (0 for one-shot accounts)."""
+        if (
+            self.first_publication_time is None
+            or self.last_publication_time is None
+        ):
+            return 0.0
+        return max(
+            0.0, (self.last_publication_time - self.first_publication_time) / 1440.0
+        )
+
+    @property
+    def publishing_rate_per_day(self) -> float:
+        """Average publications per day over the account lifetime."""
+        lifetime = self.lifetime_days
+        if lifetime <= 0:
+            return float(self.total_publications)
+        return self.total_publications / lifetime

@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel and world assembly.
+
+Time is simulated, in **minutes** (float).  The paper's measurement campaign
+spans weeks of wall-clock time with 10--18 minute tracker-polling intervals;
+the event engine lets a whole campaign run in seconds, deterministically from
+one seed.
+"""
+
+from repro.simulation.clock import DAY, HOUR, MINUTE, WEEK, Clock
+from repro.simulation.engine import EventScheduler
+from repro.simulation.world import World
+from repro.simulation.scenarios import (
+    CrawlerSettings,
+    ScenarioConfig,
+    mn08_scenario,
+    pb09_scenario,
+    pb10_scenario,
+    tiny_scenario,
+)
+
+__all__ = [
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "Clock",
+    "EventScheduler",
+    "World",
+    "CrawlerSettings",
+    "ScenarioConfig",
+    "mn08_scenario",
+    "pb09_scenario",
+    "pb10_scenario",
+    "tiny_scenario",
+]

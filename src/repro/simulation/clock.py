@@ -1,0 +1,45 @@
+"""Simulated time.
+
+All simulated timestamps are minutes since the world epoch, as floats.
+Negative times are legal and denote events *before* the measurement window
+(e.g. a publisher account's multi-year publishing history used by the
+longitudinal analysis of Section 5.2).
+"""
+
+from __future__ import annotations
+
+MINUTE = 1.0
+HOUR = 60.0
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+
+
+class Clock:
+    """Monotonic simulated clock, advanced only by the event engine."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        if t < self._now:
+            raise ValueError(f"clock cannot go backwards: {self._now} -> {t}")
+        self._now = t
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now:.1f}m)"
+
+
+def minutes(value: float) -> float:
+    return value * MINUTE
+
+
+def hours(value: float) -> float:
+    return value * HOUR
+
+
+def days(value: float) -> float:
+    return value * DAY

@@ -1,0 +1,79 @@
+"""Minimal deterministic discrete-event scheduler.
+
+Events are ``(time, seq, callback, args)`` tuples on a binary heap; ``seq``
+breaks ties so same-time events run in scheduling order, which keeps whole
+simulations bit-for-bit reproducible from a seed.
+
+Callbacks may schedule further events (that is how the crawler's periodic
+tracker polling sustains itself).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.simulation.clock import Clock
+
+
+class EventScheduler:
+    """Run callbacks at simulated times, in time order."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
+        self._seq = itertools.count()
+        self._events_run = 0
+
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+    def schedule(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at simulated ``time``.
+
+        Scheduling in the past is an error: it means a component computed a
+        stale timestamp, which would silently reorder causality.
+        """
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule at {time:.2f} before now={self.clock.now:.2f}"
+            )
+        heapq.heappush(self._heap, (time, next(self._seq), callback, args))
+
+    def schedule_after(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.schedule(self.clock.now + delay, callback, *args)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def run_until(self, end_time: float) -> None:
+        """Run all events with time <= end_time, then advance the clock to it."""
+        while self._heap and self._heap[0][0] <= end_time:
+            time, _seq, callback, args = heapq.heappop(self._heap)
+            self.clock.advance_to(time)
+            callback(*args)
+            self._events_run += 1
+        self.clock.advance_to(max(self.clock.now, end_time))
+
+    def run_all(self, max_events: Optional[int] = None) -> None:
+        """Drain the queue completely (bounded by ``max_events`` if given)."""
+        remaining = max_events
+        while self._heap:
+            if remaining is not None:
+                if remaining <= 0:
+                    raise RuntimeError("max_events exhausted; runaway schedule?")
+                remaining -= 1
+            time, _seq, callback, args = heapq.heappop(self._heap)
+            self.clock.advance_to(time)
+            callback(*args)
+            self._events_run += 1
+
+    def pending(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,168 @@
+"""Scenario configurations: the three datasets' analogues.
+
+The paper's Table 1 describes three crawls:
+
+=====  ==========  ========================  =========================
+name   portal      quirk                     window
+=====  ==========  ========================  =========================
+mn08   Mininova    RSS has no username       09-Dec-08..16-Jan-09 (38d)
+pb09   Pirate Bay  tracker queried only once 28-Nov-09..18-Dec-09 (20d)
+pb10   Pirate Bay  full monitoring           06-Apr-10..05-May-10 (29d)
+=====  ==========  ========================  =========================
+
+Each factory reproduces the corresponding quirk.  ``scale`` multiplies the
+publisher population; ``popularity_scale`` multiplies per-torrent audience
+sizes.  All shape results are scale-free, so reduced-scale runs reproduce
+the paper's structure at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.agents.population import PopulationConfig
+from repro.tracker import TrackerConfig
+
+
+@dataclass(frozen=True)
+class CrawlerSettings:
+    """Knobs of the measurement apparatus itself (Section 2)."""
+
+    rss_poll_interval: float = 5.0  # minutes between RSS polls
+    vantage_count: int = 2  # geographically-distributed query machines
+    numwant: int = 200  # max peers solicited per tracker query
+    empty_replies_to_stop: int = 10  # consecutive empty replies -> stop
+    max_probe_peers: int = 20  # bitfield-probe only when swarm smaller
+    monitor_swarms: bool = True  # False reproduces pb09's single query
+    identification_retry_minutes: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.rss_poll_interval <= 0:
+            raise ValueError("rss_poll_interval must be > 0")
+        if self.vantage_count < 1:
+            raise ValueError("vantage_count must be >= 1")
+        if self.numwant < 1:
+            raise ValueError("numwant must be >= 1")
+        if self.empty_replies_to_stop < 1:
+            raise ValueError("empty_replies_to_stop must be >= 1")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything needed to build a world and crawl it."""
+
+    name: str
+    portal_name: str
+    rss_includes_username: bool
+    window_days: float
+    post_window_days: float
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+    popularity_scale: float = 1.0
+    crawler: CrawlerSettings = field(default_factory=CrawlerSettings)
+    tracker: TrackerConfig = field(default_factory=TrackerConfig)
+    # World irregularities (footnote 2 of the paper).
+    prepublished_fraction: float = 0.06  # swarms already big at RSS time
+    no_seeder_fraction: float = 0.03  # publisher shows up late or never
+    fake_detection_mean_days: float = 1.5  # portal moderation latency
+    # Mean download rate for peers, KB/s (2010-era home downlink).
+    peer_download_rate_kbs: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.window_days <= 0 or self.post_window_days < 0:
+            raise ValueError("bad window configuration")
+        if not 0 <= self.prepublished_fraction <= 1:
+            raise ValueError("prepublished_fraction must be in [0, 1]")
+        if not 0 <= self.no_seeder_fraction <= 1:
+            raise ValueError("no_seeder_fraction must be in [0, 1]")
+        if self.popularity_scale <= 0:
+            raise ValueError("popularity_scale must be > 0")
+        if self.fake_detection_mean_days <= 0:
+            raise ValueError("fake_detection_mean_days must be > 0")
+
+    @property
+    def window_minutes(self) -> float:
+        return self.window_days * 1440.0
+
+    @property
+    def horizon_minutes(self) -> float:
+        return (self.window_days + self.post_window_days) * 1440.0
+
+
+def pb10_scenario(scale: float = 1.0, popularity_scale: float = 1.0) -> ScenarioConfig:
+    """The primary dataset: The Pirate Bay, April 2010, full monitoring."""
+    return ScenarioConfig(
+        name="pb10",
+        portal_name="The Pirate Bay",
+        rss_includes_username=True,
+        window_days=28.0,
+        post_window_days=14.0,
+        population=PopulationConfig().scaled(scale),
+        popularity_scale=popularity_scale,
+    )
+
+
+def pb09_scenario(scale: float = 1.0, popularity_scale: float = 1.0) -> ScenarioConfig:
+    """The Pirate Bay, Nov-Dec 2009: tracker queried once per torrent.
+
+    Same portal population as pb10; the smaller torrent count in the
+    paper's Table 1 comes from the shorter window.
+    """
+    return ScenarioConfig(
+        name="pb09",
+        portal_name="The Pirate Bay",
+        rss_includes_username=True,
+        window_days=20.0,
+        post_window_days=2.0,
+        population=PopulationConfig().scaled(scale),
+        popularity_scale=popularity_scale,
+        crawler=CrawlerSettings(monitor_swarms=False),
+    )
+
+
+def mn08_scenario(scale: float = 1.0, popularity_scale: float = 1.0) -> ScenarioConfig:
+    """Mininova, Dec 2008: the RSS feed carries no usable username."""
+    return ScenarioConfig(
+        name="mn08",
+        portal_name="Mininova",
+        rss_includes_username=False,
+        window_days=38.0,
+        post_window_days=10.0,
+        population=PopulationConfig().scaled(scale * 0.6),
+        popularity_scale=popularity_scale,
+        # Mininova-era crawl queried less aggressively (18-minute spacing).
+        tracker=TrackerConfig(min_interval=12.0, max_interval=18.0),
+    )
+
+
+def tiny_scenario(seed_name: str = "tiny") -> ScenarioConfig:
+    """A minutes-scale world for tests: every species present, tiny swarms."""
+    return ScenarioConfig(
+        name=seed_name,
+        portal_name="The Pirate Bay",
+        rss_includes_username=True,
+        window_days=6.0,
+        post_window_days=6.0,
+        population=PopulationConfig(
+            num_regular=120,
+            num_bt_portal=2,
+            num_web_promoter=2,
+            num_altruistic_top=3,
+            num_fake_antipiracy=1,
+            num_fake_malware=1,
+        ),
+        popularity_scale=0.15,
+        crawler=CrawlerSettings(
+            rss_poll_interval=10.0,
+            vantage_count=1,
+        ),
+        tracker=TrackerConfig(min_interval=20.0, max_interval=30.0),
+    )
+
+
+def scaled(config: ScenarioConfig, scale: float, popularity_scale: float) -> ScenarioConfig:
+    """Rescale an existing scenario (used by the benchmark harness)."""
+    return replace(
+        config,
+        population=config.population.scaled(scale),
+        popularity_scale=config.popularity_scale * popularity_scale,
+    )

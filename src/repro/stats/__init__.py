@@ -1,0 +1,46 @@
+"""Statistical helpers shared across the simulator and the analysis pipeline.
+
+This package is intentionally dependency-free (``random`` + ``math`` only) so
+that the core library can run anywhere.  It provides:
+
+- :mod:`repro.stats.distributions` -- seeded samplers for the heavy-tailed
+  distributions that drive the synthetic world (Zipf, bounded Pareto,
+  log-normal) plus small helpers (Poisson, exponential).
+- :mod:`repro.stats.summaries` -- five-number / box-plot summaries,
+  percentiles, CDF construction and Gini coefficients used by the analysis
+  modules that reproduce the paper's figures.
+- :mod:`repro.stats.tables` -- plain-text table rendering used by the
+  benchmark harness to print paper-style tables.
+"""
+
+from repro.stats.distributions import (
+    BoundedPareto,
+    LogNormal,
+    ZipfSampler,
+    exponential,
+    poisson,
+)
+from repro.stats.summaries import (
+    BoxStats,
+    Cdf,
+    box_stats,
+    gini,
+    percentile,
+    top_share_curve,
+)
+from repro.stats.tables import format_table
+
+__all__ = [
+    "BoundedPareto",
+    "LogNormal",
+    "ZipfSampler",
+    "exponential",
+    "poisson",
+    "BoxStats",
+    "Cdf",
+    "box_stats",
+    "gini",
+    "percentile",
+    "top_share_curve",
+    "format_table",
+]

@@ -1,0 +1,196 @@
+"""Summary statistics used by the analysis layer.
+
+The paper reports results as box plots (25th/50th/75th percentiles, Figs. 3
+and 4), top-x% contribution curves (Fig. 1) and min/median/avg/max rows
+(Tables 4 and 5).  These helpers compute exactly those summaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (same convention as numpy's default).
+
+    ``q`` is in ``[0, 100]``.  Raises on an empty input -- an empty group is
+    an analysis bug, not a value.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = (q / 100.0) * (len(ordered) - 1)
+    lower = int(math.floor(pos))
+    upper = int(math.ceil(pos))
+    if lower == upper:
+        return float(ordered[lower])
+    frac = pos - lower
+    return float(ordered[lower] * (1 - frac) + ordered[upper] * frac)
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number box-plot summary plus count and mean."""
+
+    count: int
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+    mean: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+def box_stats(values: Sequence[float]) -> BoxStats:
+    """Compute the box-plot summary the paper's Figs. 3/4 draw."""
+    if not values:
+        raise ValueError("box_stats of empty sequence")
+    ordered = sorted(float(v) for v in values)
+    return BoxStats(
+        count=len(ordered),
+        minimum=ordered[0],
+        p25=percentile(ordered, 25),
+        median=percentile(ordered, 50),
+        p75=percentile(ordered, 75),
+        maximum=ordered[-1],
+        mean=math.fsum(ordered) / len(ordered),
+    )
+
+
+@dataclass(frozen=True)
+class MinMedAvgMax:
+    """min/median/avg/max row, the format of the paper's Table 5."""
+
+    minimum: float
+    median: float
+    mean: float
+    maximum: float
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.minimum, self.median, self.mean, self.maximum)
+
+
+def min_med_avg_max(values: Sequence[float]) -> MinMedAvgMax:
+    if not values:
+        raise ValueError("summary of empty sequence")
+    ordered = sorted(float(v) for v in values)
+    return MinMedAvgMax(
+        minimum=ordered[0],
+        median=percentile(ordered, 50),
+        mean=math.fsum(ordered) / len(ordered),
+        maximum=ordered[-1],
+    )
+
+
+@dataclass(frozen=True)
+class MinAvgMax:
+    """min/avg/max row, the format of the paper's Table 4."""
+
+    minimum: float
+    mean: float
+    maximum: float
+
+
+def min_avg_max(values: Sequence[float]) -> MinAvgMax:
+    if not values:
+        raise ValueError("summary of empty sequence")
+    ordered = sorted(float(v) for v in values)
+    return MinAvgMax(
+        minimum=ordered[0],
+        mean=math.fsum(ordered) / len(ordered),
+        maximum=ordered[-1],
+    )
+
+
+class Cdf:
+    """Empirical CDF over a sample.
+
+    Supports evaluation at arbitrary points and inverse lookup, which the
+    contribution analysis uses to express "top x% of publishers published y%
+    of content".
+    """
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self._values = sorted(float(v) for v in values)
+        if not self._values:
+            raise ValueError("Cdf of empty sequence")
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def evaluate(self, x: float) -> float:
+        """Fraction of samples <= x."""
+        lo, hi = 0, len(self._values)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._values[mid] <= x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo / len(self._values)
+
+    def quantile(self, q: float) -> float:
+        return percentile(self._values, q * 100.0)
+
+
+def top_share_curve(
+    contributions: Sequence[float], points: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """Fig. 1's curve: share of total contributed by the top ``x%`` contributors.
+
+    ``contributions`` is one value per contributor (e.g. torrents published by
+    each username).  ``points`` are percentages in ``(0, 100]``.  Returns
+    ``(x, share_percent)`` pairs.  The top fraction is rounded up to at least
+    one contributor so the curve is defined at small x.
+    """
+    if not contributions:
+        raise ValueError("top_share_curve of empty sequence")
+    ordered = sorted((float(c) for c in contributions), reverse=True)
+    total = math.fsum(ordered)
+    if total <= 0:
+        raise ValueError("total contribution must be positive")
+    prefix: List[float] = []
+    acc = 0.0
+    for c in ordered:
+        acc += c
+        prefix.append(acc)
+    curve: List[Tuple[float, float]] = []
+    for x in points:
+        if not 0 < x <= 100:
+            raise ValueError(f"curve point must be in (0, 100], got {x}")
+        k = max(1, int(round(len(ordered) * x / 100.0)))
+        k = min(k, len(ordered))
+        curve.append((x, 100.0 * prefix[k - 1] / total))
+    return curve
+
+
+def gini(values: Sequence[float]) -> float:
+    """Gini coefficient of a non-negative sample (skewness scalar for tests)."""
+    if not values:
+        raise ValueError("gini of empty sequence")
+    ordered = sorted(float(v) for v in values)
+    if any(v < 0 for v in ordered):
+        raise ValueError("gini requires non-negative values")
+    total = math.fsum(ordered)
+    if total == 0:
+        return 0.0
+    n = len(ordered)
+    weighted = math.fsum((i + 1) * v for i, v in enumerate(ordered))
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n

@@ -1,0 +1,22 @@
+"""Torrent metainfo (.torrent) construction and parsing.
+
+The portal serves real ``.torrent`` byte strings built here; the crawler
+parses them back to find the announce URL and the piece count, just as the
+paper's crawler did against Mininova / The Pirate Bay.
+"""
+
+from repro.torrent.metainfo import (
+    MetainfoError,
+    TorrentFile,
+    TorrentMeta,
+    build_torrent,
+    parse_torrent,
+)
+
+__all__ = [
+    "MetainfoError",
+    "TorrentFile",
+    "TorrentMeta",
+    "build_torrent",
+    "parse_torrent",
+]

@@ -1,0 +1,215 @@
+"""Build and parse .torrent metainfo files (BEP 3 subset used by the study).
+
+A metainfo file is a bencoded dictionary with (at least):
+
+- ``announce``: tracker URL
+- ``info``: dict with ``name``, ``piece length``, ``pieces`` (20 bytes per
+  piece, SHA-1 of each piece), and either ``length`` (single file) or
+  ``files`` (multi-file).
+
+The *infohash* -- SHA-1 of the canonical bencoding of the ``info`` dict -- is
+the swarm identifier that the tracker keys on.  The simulator does not store
+real content bytes; piece hashes are deterministically derived from the
+content identity, which preserves everything the measurement pipeline relies
+on (stable infohash, piece count, name, bundled file names).
+
+Bundled file names matter to the study: one of the three promo-URL placements
+the paper found is "name of a text file that is distributed with the actual
+content" (Section 5), so multi-file torrents here can carry such a file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bencode import BencodeError, bdecode, bencode
+
+DEFAULT_PIECE_LENGTH = 256 * 1024  # 256 KiB, the common default in 2010.
+
+
+class MetainfoError(ValueError):
+    """Raised when a .torrent file is structurally invalid."""
+
+
+@dataclass(frozen=True)
+class TorrentFile:
+    """One file inside a (possibly multi-file) torrent."""
+
+    path: str
+    length: int
+
+
+@dataclass(frozen=True)
+class TorrentMeta:
+    """Parsed view of a .torrent file."""
+
+    announce: str
+    name: str
+    piece_length: int
+    num_pieces: int
+    total_length: int
+    infohash: bytes
+    files: List[TorrentFile] = field(default_factory=list)
+    comment: Optional[str] = None
+
+    @property
+    def infohash_hex(self) -> str:
+        return self.infohash.hex()
+
+    @property
+    def is_multi_file(self) -> bool:
+        return len(self.files) > 1
+
+
+# Size of the materialised stand-in block for each piece.  Real pieces are
+# piece_length bytes; simulated transfers exchange this compact stand-in,
+# whose SHA-1 is what the metainfo's `pieces` field records, so the
+# hash-verification code path works end to end without storing gigabytes.
+PIECE_PAYLOAD_BYTES = 1024
+
+
+def piece_payload(name: str, index: int) -> bytes:
+    """The canonical (authentic) stand-in bytes of one piece.
+
+    Deterministic in ``(name, index)``: the same logical content always
+    yields the same bytes, hence the same piece hashes and infohash.
+    """
+    seed = hashlib.sha256(f"{name}\x00{index}".encode("utf-8")).digest()
+    repeats = -(-PIECE_PAYLOAD_BYTES // len(seed))
+    return (seed * repeats)[:PIECE_PAYLOAD_BYTES]
+
+
+def _derive_pieces(name: str, total_length: int, piece_length: int) -> bytes:
+    """Piece hashes: SHA-1 over each piece's canonical stand-in payload.
+
+    Hashing the *materialisable* payload (rather than content we never
+    store) keeps the full verification chain real: a peer can serve
+    :func:`piece_payload` bytes and a downloader can check them against the
+    metainfo, exactly as BitTorrent clients detect fake/corrupt content.
+    """
+    num_pieces = max(1, -(-total_length // piece_length))
+    out = bytearray()
+    for index in range(num_pieces):
+        out += hashlib.sha1(piece_payload(name, index)).digest()
+    return bytes(out)
+
+
+def build_torrent(
+    announce: str,
+    name: str,
+    total_length: int,
+    piece_length: int = DEFAULT_PIECE_LENGTH,
+    extra_files: Optional[List[TorrentFile]] = None,
+    comment: Optional[str] = None,
+) -> bytes:
+    """Build .torrent bytes for a (simulated) content item.
+
+    ``extra_files`` turns the torrent into a multi-file torrent whose first
+    entry is the main content and whose remaining entries are bundled files
+    (e.g. a ``visit-www.example.com.txt`` promo file).
+    """
+    if total_length <= 0:
+        raise MetainfoError(f"total_length must be > 0, got {total_length}")
+    if piece_length <= 0:
+        raise MetainfoError(f"piece_length must be > 0, got {piece_length}")
+    if not announce:
+        raise MetainfoError("announce URL must be non-empty")
+    if not name:
+        raise MetainfoError("name must be non-empty")
+
+    info: Dict[str, object] = {
+        "name": name,
+        "piece length": piece_length,
+        "pieces": _derive_pieces(name, total_length, piece_length),
+    }
+    if extra_files:
+        files = [{"length": total_length, "path": [name]}]
+        for extra in extra_files:
+            if extra.length < 0:
+                raise MetainfoError(f"file length must be >= 0: {extra}")
+            files.append({"length": extra.length, "path": extra.path.split("/")})
+        info["files"] = files
+    else:
+        info["length"] = total_length
+
+    meta: Dict[str, object] = {"announce": announce, "info": info}
+    if comment:
+        meta["comment"] = comment
+    return bencode(meta)
+
+
+def parse_torrent(data: bytes) -> TorrentMeta:
+    """Parse .torrent bytes into a :class:`TorrentMeta`.
+
+    The infohash is computed by re-encoding the decoded ``info`` dict; because
+    our codec is strict/canonical this equals SHA-1 over the original
+    ``info`` substring.
+    """
+    try:
+        decoded = bdecode(data)
+    except BencodeError as exc:
+        raise MetainfoError(f"not a bencoded file: {exc}") from exc
+    if not isinstance(decoded, dict):
+        raise MetainfoError("top-level value must be a dictionary")
+    if b"announce" not in decoded:
+        raise MetainfoError("missing 'announce'")
+    if b"info" not in decoded:
+        raise MetainfoError("missing 'info'")
+    info = decoded[b"info"]
+    if not isinstance(info, dict):
+        raise MetainfoError("'info' must be a dictionary")
+    for key in (b"name", b"piece length", b"pieces"):
+        if key not in info:
+            raise MetainfoError(f"info dict missing {key.decode()!r}")
+
+    name = info[b"name"].decode("utf-8", errors="replace")
+    piece_length = info[b"piece length"]
+    pieces = info[b"pieces"]
+    if not isinstance(piece_length, int) or piece_length <= 0:
+        raise MetainfoError(f"invalid piece length {piece_length!r}")
+    if not isinstance(pieces, bytes) or len(pieces) % 20 != 0 or not pieces:
+        raise MetainfoError("'pieces' must be a non-empty multiple of 20 bytes")
+
+    files: List[TorrentFile] = []
+    if b"files" in info:
+        raw_files = info[b"files"]
+        if not isinstance(raw_files, list) or not raw_files:
+            raise MetainfoError("'files' must be a non-empty list")
+        total = 0
+        for entry in raw_files:
+            if not isinstance(entry, dict):
+                raise MetainfoError("file entry must be a dictionary")
+            length = entry.get(b"length")
+            path = entry.get(b"path")
+            if not isinstance(length, int) or length < 0:
+                raise MetainfoError(f"invalid file length {length!r}")
+            if not isinstance(path, list) or not path:
+                raise MetainfoError("file path must be a non-empty list")
+            joined = "/".join(p.decode("utf-8", errors="replace") for p in path)
+            files.append(TorrentFile(path=joined, length=length))
+            total += length
+        total_length = total
+    elif b"length" in info:
+        total_length = info[b"length"]
+        if not isinstance(total_length, int) or total_length <= 0:
+            raise MetainfoError(f"invalid length {total_length!r}")
+        files.append(TorrentFile(path=name, length=total_length))
+    else:
+        raise MetainfoError("info dict needs 'length' or 'files'")
+
+    comment = None
+    if b"comment" in decoded and isinstance(decoded[b"comment"], bytes):
+        comment = decoded[b"comment"].decode("utf-8", errors="replace")
+
+    return TorrentMeta(
+        announce=decoded[b"announce"].decode("utf-8", errors="replace"),
+        name=name,
+        piece_length=piece_length,
+        num_pieces=len(pieces) // 20,
+        total_length=total_length,
+        infohash=hashlib.sha1(bencode(info)).digest(),
+        files=files,
+        comment=comment,
+    )

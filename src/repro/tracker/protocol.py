@@ -1,0 +1,160 @@
+"""Tracker wire protocol: announce/scrape request & response codecs.
+
+Responses follow the HTTP tracker convention (BEP 3 + BEP 23 compact peers):
+
+- success: ``{"interval": seconds, "complete": seeders,
+  "incomplete": leechers, "peers": <6*N bytes>}``
+- failure: ``{"failure reason": <bytes>}``
+
+Peers are packed 6 bytes each: 4-byte big-endian IPv4 + 2-byte big-endian
+port.  The simulator derives a stable per-IP port so repeated observations of
+the same peer look consistent.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.bencode import bdecode, bencode
+
+
+class TrackerError(RuntimeError):
+    """A failure response from the tracker (or malformed tracker bytes)."""
+
+
+@dataclass(frozen=True)
+class AnnounceRequest:
+    """One announce as the tracker receives it."""
+
+    infohash: bytes
+    client_ip: int
+    numwant: int = 200
+    event: str = ""  # "", "started", "stopped", "completed"
+
+    def __post_init__(self) -> None:
+        if len(self.infohash) != 20:
+            raise ValueError("infohash must be 20 bytes")
+        if self.numwant < 0:
+            raise ValueError("numwant must be >= 0")
+        if self.event not in ("", "started", "stopped", "completed"):
+            raise ValueError(f"unknown event {self.event!r}")
+
+
+@dataclass(frozen=True)
+class AnnounceResponse:
+    """Decoded success response."""
+
+    interval_seconds: int
+    seeders: int
+    leechers: int
+    peers: List[Tuple[int, int]] = field(default_factory=list)  # (ip, port)
+
+    @property
+    def peer_ips(self) -> List[int]:
+        return [ip for ip, _port in self.peers]
+
+    @property
+    def total_peers(self) -> int:
+        return self.seeders + self.leechers
+
+
+@dataclass(frozen=True)
+class ScrapeResponse:
+    """Decoded scrape response for one infohash."""
+
+    seeders: int
+    completed: int
+    leechers: int
+
+
+def peer_port_for_ip(ip: int) -> int:
+    """Stable synthetic listening port for a peer (range 10000..59999)."""
+    return 10000 + (ip % 50000)
+
+
+def encode_peers_compact(ips: List[int]) -> bytes:
+    packed = bytearray()
+    for ip in ips:
+        packed += struct.pack(">IH", ip & 0xFFFFFFFF, peer_port_for_ip(ip))
+    return bytes(packed)
+
+
+def encode_announce_success(
+    interval_seconds: int, seeders: int, leechers: int, ips: List[int]
+) -> bytes:
+    return bencode(
+        {
+            "interval": interval_seconds,
+            "complete": seeders,
+            "incomplete": leechers,
+            "peers": encode_peers_compact(ips),
+        }
+    )
+
+
+def encode_failure(reason: str) -> bytes:
+    return bencode({"failure reason": reason})
+
+
+def decode_announce_response(data: bytes) -> AnnounceResponse:
+    """Parse tracker bytes; raises :class:`TrackerError` on failure responses."""
+    decoded = bdecode(data)
+    if not isinstance(decoded, dict):
+        raise TrackerError("tracker response is not a dictionary")
+    if b"failure reason" in decoded:
+        raise TrackerError(decoded[b"failure reason"].decode("utf-8", "replace"))
+    for key in (b"interval", b"complete", b"incomplete", b"peers"):
+        if key not in decoded:
+            raise TrackerError(f"tracker response missing {key.decode()!r}")
+    raw_peers = decoded[b"peers"]
+    if not isinstance(raw_peers, bytes) or len(raw_peers) % 6 != 0:
+        raise TrackerError("compact peers blob must be a multiple of 6 bytes")
+    peers: List[Tuple[int, int]] = []
+    for offset in range(0, len(raw_peers), 6):
+        ip, port = struct.unpack(">IH", raw_peers[offset : offset + 6])
+        peers.append((ip, port))
+    return AnnounceResponse(
+        interval_seconds=decoded[b"interval"],
+        seeders=decoded[b"complete"],
+        leechers=decoded[b"incomplete"],
+        peers=peers,
+    )
+
+
+def encode_scrape_response(files: Dict[bytes, Tuple[int, int, int]]) -> bytes:
+    """``files`` maps infohash -> (seeders, completed, leechers)."""
+    return bencode(
+        {
+            "files": {
+                infohash: {
+                    "complete": seeders,
+                    "downloaded": completed,
+                    "incomplete": leechers,
+                }
+                for infohash, (seeders, completed, leechers) in files.items()
+            }
+        }
+    )
+
+
+def decode_scrape_response(data: bytes) -> Dict[bytes, ScrapeResponse]:
+    decoded = bdecode(data)
+    if not isinstance(decoded, dict):
+        raise TrackerError("scrape response is not a dictionary")
+    if b"failure reason" in decoded:
+        raise TrackerError(decoded[b"failure reason"].decode("utf-8", "replace"))
+    files = decoded.get(b"files")
+    if not isinstance(files, dict):
+        raise TrackerError("scrape response missing 'files'")
+    out: Dict[bytes, ScrapeResponse] = {}
+    for infohash, stats in files.items():
+        if not isinstance(stats, dict):
+            raise TrackerError("scrape file entry is not a dictionary")
+        out[infohash] = ScrapeResponse(
+            seeders=stats.get(b"complete", 0),
+            completed=stats.get(b"downloaded", 0),
+            leechers=stats.get(b"incomplete", 0),
+        )
+    return out

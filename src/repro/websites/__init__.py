@@ -1,0 +1,29 @@
+"""Promoting-website economics (the paper's Section 5.3 / Table 5 substrate).
+
+Profit-driven publishers promote a web site; the paper estimates each site's
+value, daily income and daily visits by averaging six independent
+website-statistics monitors (sitelogr, cwire, websiteoutlook, ...).  Here the
+ground truth is generated per site from heavy-tailed distributions, the
+"web directory" lets the analysis look a URL up (business type, ad usage,
+third-party ad connections in the HTTP headers), and six synthetic monitors
+return independently-noised estimates the analysis averages -- the same
+estimation procedure over the same statistical structure.
+"""
+
+from repro.websites.model import (
+    BusinessType,
+    MonetizationMethod,
+    WebDirectory,
+    Website,
+)
+from repro.websites.monitors import MonitorPanel, WebsiteMonitor, default_monitor_panel
+
+__all__ = [
+    "BusinessType",
+    "MonetizationMethod",
+    "WebDirectory",
+    "Website",
+    "MonitorPanel",
+    "WebsiteMonitor",
+    "default_monitor_panel",
+]

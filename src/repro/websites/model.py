@@ -1,0 +1,147 @@
+"""Websites: ground-truth economics and the lookup directory.
+
+A :class:`Website` carries what the paper's manual investigation gathered per
+promoting URL: the kind of business run there, how it monetizes (ads,
+donations, VIP fees), and its true economic figures (which the monitors of
+:mod:`repro.websites.monitors` estimate with noise).
+
+The correlation structure matters for Table 5's plausibility: visits drive
+income (ad RPM), income drives valuation (a revenue multiple), so the three
+estimates of a site rank consistently.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.stats.distributions import LogNormal
+
+
+class BusinessType(enum.Enum):
+    """What kind of site a promoting URL points at (Section 5.1)."""
+
+    BT_PORTAL = "private BitTorrent portal/tracker"
+    IMAGE_HOSTING = "image hosting"
+    FORUM = "forum"
+    RELIGIOUS = "religious group"
+    BLOG = "blog"
+    UNRELATED = "unrelated"
+
+
+class MonetizationMethod(enum.Enum):
+    ADS = "advertisement"
+    DONATIONS = "donations"
+    VIP_ACCESS = "VIP access fees"
+
+
+# Which business types count as the paper's "Other Web Sites" class.
+OTHER_WEB_TYPES = (
+    BusinessType.IMAGE_HOSTING,
+    BusinessType.FORUM,
+    BusinessType.RELIGIOUS,
+    BusinessType.BLOG,
+)
+
+
+@dataclass(frozen=True)
+class Website:
+    """One promoting web site with ground-truth economics."""
+
+    url: str
+    business_type: BusinessType
+    monetization: Tuple[MonetizationMethod, ...]
+    daily_visits: float
+    daily_income_usd: float
+    value_usd: float
+    content_language: str = "en"
+    requires_seed_ratio: bool = False  # private-tracker seeding-ratio policy
+
+    @property
+    def posts_ads(self) -> bool:
+        return MonetizationMethod.ADS in self.monetization
+
+    def http_header_third_parties(self) -> Tuple[str, ...]:
+        """Third-party hosts seen in a browser exchange with the site.
+
+        The paper validates ad usage "by looking at the header exchange
+        between the browser and the publishers' web site servers"
+        (Krishnamurthy & Wills' technique).  Ad-funded sites show ad-network
+        hosts here.
+        """
+        if not self.posts_ads:
+            return ()
+        return ("ads.doubleklick.sim", "banners.adnet.sim")
+
+
+def generate_website(
+    rng: random.Random,
+    url: str,
+    business_type: BusinessType,
+    visits_median: float,
+    visits_sigma: float,
+    language: str = "en",
+) -> Website:
+    """Generate one site with correlated visits -> income -> value."""
+    visits = LogNormal(visits_median, visits_sigma).sample(rng)
+    # Ad revenue per visit (USD), lognormal around a ~2.6e-3 $ RPM-ish rate.
+    revenue_per_visit = LogNormal(0.0026, 0.5).sample(rng)
+    income = visits * revenue_per_visit
+    # Valuation as a revenue multiple around ~600 daily incomes (~1.6y).
+    multiple = LogNormal(600.0, 0.4).sample(rng)
+    value = income * multiple
+    if business_type is BusinessType.BT_PORTAL:
+        monetization: Tuple[MonetizationMethod, ...] = tuple(
+            m
+            for m, p in (
+                (MonetizationMethod.ADS, 0.95),
+                (MonetizationMethod.DONATIONS, 0.6),
+                (MonetizationMethod.VIP_ACCESS, 0.5),
+            )
+            if rng.random() < p
+        ) or (MonetizationMethod.ADS,)
+        requires_ratio = rng.random() < 0.6
+    else:
+        monetization = (MonetizationMethod.ADS,)
+        requires_ratio = False
+    return Website(
+        url=url,
+        business_type=business_type,
+        monetization=monetization,
+        daily_visits=visits,
+        daily_income_usd=income,
+        value_usd=value,
+        content_language=language,
+        requires_seed_ratio=requires_ratio,
+    )
+
+
+class WebDirectory:
+    """URL -> website lookup: the analyst's view of "the rest of the Web"."""
+
+    def __init__(self) -> None:
+        self._sites: Dict[str, Website] = {}
+
+    def register(self, site: Website) -> None:
+        if site.url in self._sites:
+            raise ValueError(f"site {site.url!r} already registered")
+        self._sites[site.url] = site
+
+    def lookup(self, url: str) -> Optional[Website]:
+        """Resolve a URL (tolerates a leading www. / scheme)."""
+        cleaned = url.strip().lower()
+        for prefix in ("http://", "https://"):
+            if cleaned.startswith(prefix):
+                cleaned = cleaned[len(prefix):]
+        cleaned = cleaned.rstrip("/")
+        if cleaned.startswith("www."):
+            cleaned = cleaned[4:]
+        return self._sites.get(cleaned)
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def urls(self) -> List[str]:
+        return list(self._sites)

@@ -1,0 +1,99 @@
+"""Website-statistics monitors and the six-monitor averaging panel.
+
+Each monitor is an independent estimator of a site's value / income / visits
+with its own multiplicative bias and noise; the paper reduces estimation
+error by averaging six of them per site, and this module reproduces that
+estimation procedure (Section 5.3, footnote 9).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.websites.model import Website
+
+
+@dataclass(frozen=True)
+class WebsiteEstimate:
+    """One monitor's (or the panel-averaged) estimate for one site."""
+
+    url: str
+    value_usd: float
+    daily_income_usd: float
+    daily_visits: float
+
+
+class WebsiteMonitor:
+    """One statistics web site (sitelogr-like).
+
+    Estimates are deterministic per (monitor, url): querying the same monitor
+    twice for the same site returns the same numbers, like the real sites
+    which cache their stats.
+    """
+
+    def __init__(self, name: str, bias: float = 1.0, noise_sigma: float = 0.35) -> None:
+        if bias <= 0:
+            raise ValueError("bias must be > 0")
+        if noise_sigma < 0:
+            raise ValueError("noise_sigma must be >= 0")
+        self.name = name
+        self.bias = bias
+        self.noise_sigma = noise_sigma
+
+    def _noise(self, url: str, metric: str) -> float:
+        seed = hashlib.sha256(
+            f"{self.name}|{url}|{metric}".encode("utf-8")
+        ).digest()
+        rng = random.Random(int.from_bytes(seed[:8], "big"))
+        return self.bias * rng.lognormvariate(0.0, self.noise_sigma)
+
+    def estimate(self, site: Website) -> WebsiteEstimate:
+        return WebsiteEstimate(
+            url=site.url,
+            value_usd=site.value_usd * self._noise(site.url, "value"),
+            daily_income_usd=site.daily_income_usd * self._noise(site.url, "income"),
+            daily_visits=site.daily_visits * self._noise(site.url, "visits"),
+        )
+
+
+class MonitorPanel:
+    """Average estimates across several monitors (the paper used six)."""
+
+    def __init__(self, monitors: List[WebsiteMonitor]) -> None:
+        if not monitors:
+            raise ValueError("panel needs at least one monitor")
+        names = [m.name for m in monitors]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate monitor names")
+        self.monitors = list(monitors)
+
+    def estimate(self, site: Optional[Website]) -> Optional[WebsiteEstimate]:
+        """Panel-averaged estimate; None when the site is unknown."""
+        if site is None:
+            return None
+        estimates = [m.estimate(site) for m in self.monitors]
+        n = len(estimates)
+        return WebsiteEstimate(
+            url=site.url,
+            value_usd=sum(e.value_usd for e in estimates) / n,
+            daily_income_usd=sum(e.daily_income_usd for e in estimates) / n,
+            daily_visits=sum(e.daily_visits for e in estimates) / n,
+        )
+
+
+def default_monitor_panel() -> MonitorPanel:
+    """Six monitors mirroring footnote 9's list, with assorted biases."""
+    specs = [
+        ("sitelogr.sim", 0.92, 0.30),
+        ("cwire.sim", 1.10, 0.40),
+        ("websiteoutlook.sim", 1.00, 0.25),
+        ("sitevaluecalculator.sim", 0.85, 0.45),
+        ("mywebsiteworth.sim", 1.20, 0.40),
+        ("yourwebsitevalue.sim", 0.95, 0.35),
+    ]
+    return MonitorPanel(
+        [WebsiteMonitor(name, bias, sigma) for name, bias, sigma in specs]
+    )

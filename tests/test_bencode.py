@@ -1,0 +1,184 @@
+"""Unit tests for the bencode codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bencode import BencodeError, bdecode, bencode
+
+
+class TestEncode:
+    def test_integer(self):
+        assert bencode(42) == b"i42e"
+
+    def test_negative_integer(self):
+        assert bencode(-7) == b"i-7e"
+
+    def test_zero(self):
+        assert bencode(0) == b"i0e"
+
+    def test_bytes(self):
+        assert bencode(b"spam") == b"4:spam"
+
+    def test_empty_bytes(self):
+        assert bencode(b"") == b"0:"
+
+    def test_str_encodes_as_utf8(self):
+        assert bencode("caf\xe9") == b"5:caf\xc3\xa9"
+
+    def test_list(self):
+        assert bencode([1, b"a"]) == b"li1e1:ae"
+
+    def test_tuple_encodes_as_list(self):
+        assert bencode((1, 2)) == b"li1ei2ee"
+
+    def test_nested_list(self):
+        assert bencode([[1], []]) == b"lli1eelee"
+
+    def test_dict_sorted_keys(self):
+        assert bencode({b"b": 1, b"a": 2}) == b"d1:ai2e1:bi1ee"
+
+    def test_dict_str_keys_normalised(self):
+        assert bencode({"b": 1, "a": 2}) == b"d1:ai2e1:bi1ee"
+
+    def test_dict_mixed_duplicate_keys_rejected(self):
+        with pytest.raises(BencodeError, match="duplicate"):
+            bencode({"a": 1, b"a": 2})
+
+    def test_bool_rejected(self):
+        with pytest.raises(BencodeError, match="bool"):
+            bencode(True)
+
+    def test_float_rejected(self):
+        with pytest.raises(BencodeError):
+            bencode(3.14)
+
+    def test_none_rejected(self):
+        with pytest.raises(BencodeError):
+            bencode(None)
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(BencodeError, match="keys"):
+            bencode({1: 2})
+
+
+class TestDecode:
+    def test_integer(self):
+        assert bdecode(b"i42e") == 42
+
+    def test_negative(self):
+        assert bdecode(b"i-42e") == -42
+
+    def test_bytes(self):
+        assert bdecode(b"4:spam") == b"spam"
+
+    def test_list(self):
+        assert bdecode(b"li1ei2ee") == [1, 2]
+
+    def test_dict(self):
+        assert bdecode(b"d1:ai1e1:bi2ee") == {b"a": 1, b"b": 2}
+
+    def test_empty_input(self):
+        with pytest.raises(BencodeError, match="empty"):
+            bdecode(b"")
+
+    def test_trailing_data(self):
+        with pytest.raises(BencodeError, match="trailing"):
+            bdecode(b"i1ei2e")
+
+    def test_leading_zero_integer(self):
+        with pytest.raises(BencodeError, match="leading zeros"):
+            bdecode(b"i042e")
+
+    def test_negative_zero(self):
+        with pytest.raises(BencodeError, match="negative zero"):
+            bdecode(b"i-0e")
+
+    def test_empty_integer(self):
+        with pytest.raises(BencodeError):
+            bdecode(b"ie")
+
+    def test_bare_minus(self):
+        with pytest.raises(BencodeError):
+            bdecode(b"i-e")
+
+    def test_unterminated_integer(self):
+        with pytest.raises(BencodeError, match="unterminated"):
+            bdecode(b"i42")
+
+    def test_truncated_string(self):
+        with pytest.raises(BencodeError, match="truncated"):
+            bdecode(b"5:ab")
+
+    def test_leading_zero_length(self):
+        with pytest.raises(BencodeError, match="leading zeros"):
+            bdecode(b"04:spam")
+
+    def test_unterminated_list(self):
+        with pytest.raises(BencodeError, match="unterminated"):
+            bdecode(b"li1e")
+
+    def test_unterminated_dict(self):
+        with pytest.raises(BencodeError, match="unterminated|truncated"):
+            bdecode(b"d1:a")
+
+    def test_unsorted_dict_keys_rejected(self):
+        with pytest.raises(BencodeError, match="sorted"):
+            bdecode(b"d1:bi1e1:ai2ee")
+
+    def test_duplicate_dict_keys_rejected(self):
+        with pytest.raises(BencodeError, match="sorted"):
+            bdecode(b"d1:ai1e1:ai2ee")
+
+    def test_non_bytes_dict_key_rejected(self):
+        with pytest.raises(BencodeError, match="key"):
+            bdecode(b"di1ei2ee")
+
+    def test_garbage_byte(self):
+        with pytest.raises(BencodeError, match="unexpected"):
+            bdecode(b"x")
+
+    def test_non_bytes_input_rejected(self):
+        with pytest.raises(BencodeError, match="bytes"):
+            bdecode("i1e")  # type: ignore[arg-type]
+
+    def test_bytearray_accepted(self):
+        assert bdecode(bytearray(b"i5e")) == 5
+
+
+# Hypothesis: arbitrary nested structures round-trip.
+_atoms = st.one_of(
+    st.integers(min_value=-(2**63), max_value=2**63),
+    st.binary(max_size=40),
+)
+_values = st.recursive(
+    _atoms,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.binary(max_size=12), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+@given(_values)
+def test_roundtrip(value):
+    decoded = bdecode(bencode(value))
+
+    def normalise(v):
+        if isinstance(v, tuple):
+            return [normalise(x) for x in v]
+        if isinstance(v, list):
+            return [normalise(x) for x in v]
+        if isinstance(v, dict):
+            return {k: normalise(x) for k, x in v.items()}
+        return v
+
+    assert decoded == normalise(value)
+
+
+@given(_values)
+def test_encoding_is_canonical(value):
+    """Encoding is deterministic and re-encoding a decode is identity."""
+    encoded = bencode(value)
+    assert bencode(bdecode(encoded)) == encoded

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_present(self):
+        parser = build_parser()
+        args = parser.parse_args(["appendix"])
+        assert args.command == "appendix"
+        args = parser.parse_args(["run", "tiny"])
+        assert args.command == "run" and args.scenario == "tiny"
+        args = parser.parse_args(["report", "pb10", "--scale", "0.2"])
+        assert args.scale == 0.2
+        args = parser.parse_args(["monitor", "--days", "2"])
+        assert args.days == 2.0
+
+    def test_unknown_scenario_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "nonsense"])
+
+    def test_command_required(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+
+class TestCommands:
+    def test_appendix_command(self, capsys):
+        assert main(["appendix", "--n", "165", "--w", "50",
+                     "--spacing", "18"]) == 0
+        out = capsys.readouterr().out
+        assert "m=13" in out
+        assert "3.90 h" in out
+
+    def test_monitor_command(self, capsys):
+        assert main(["monitor", "--days", "1.5", "--seed", "3",
+                     "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "ingested" in out
+        assert "Top publishers" in out
+
+    def test_run_command_with_archive(self, capsys, tmp_path):
+        archive = str(tmp_path / "tiny.sqlite")
+        assert main(["run", "tiny", "--seed", "5", "--archive", archive]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign summary" in out
+        assert "archive written" in out
+        from repro.core.export import load_dataset
+
+        loaded = load_dataset(archive)
+        assert loaded.num_torrents > 50
+
+    def test_report_command_tiny(self, capsys):
+        assert main(["report", "tiny", "--seed", "9", "--top-k", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1 analogue" in out
+        assert "Figure 4 analogue" in out
+        assert "Section 5.1 analogue" in out
+        assert "business model" in out

@@ -1,0 +1,25 @@
+"""Collector-level odds and ends."""
+
+import dataclasses
+
+from repro.core.collector import run_measurement
+from repro.simulation import tiny_scenario
+
+
+class TestProgressCallback:
+    def test_progress_messages_emitted(self):
+        messages = []
+        config = dataclasses.replace(
+            tiny_scenario("progress"), window_days=1.0, post_window_days=1.0
+        )
+        run_measurement(config, seed=3, progress=messages.append)
+        assert any("building world" in m for m in messages)
+        assert any("world ready" in m for m in messages)
+        assert any("crawl finished" in m for m in messages)
+
+    def test_no_progress_callback_ok(self):
+        config = dataclasses.replace(
+            tiny_scenario("quiet"), window_days=1.0, post_window_days=1.0
+        )
+        dataset = run_measurement(config, seed=3)
+        assert dataset.num_torrents > 0

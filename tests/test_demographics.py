@@ -1,0 +1,62 @@
+"""Tests for downloader demographics and audience overlap."""
+
+import pytest
+
+from repro.core.analysis.demographics import (
+    audience_overlap,
+    demographics_by_group,
+    downloader_demographics,
+)
+
+
+class TestDemographics:
+    def test_totals_consistent(self, dataset):
+        report = downloader_demographics(dataset)
+        assert report.distinct_downloaders > 500
+        assert 0 < report.resolved <= report.distinct_downloaders
+        assert report.resolution_rate > 0.9  # plan covers consumer space
+
+    def test_no_ovh_downloaders(self, dataset):
+        """The paper's §6 observation: OVH never consumes."""
+        report = downloader_demographics(dataset)
+        assert report.hosting_downloaders_at("OVH") == 0
+
+    def test_fake_host_backup_seeders_visible(self, dataset):
+        """Any hosting addresses among 'consumers' belong to the fake
+        hosting providers: they are fake entities' backup seeders, not real
+        downloaders -- a detectable fake-farm signature."""
+        from repro.geoip.isps import FAKE_PUBLISHER_HOSTS
+
+        report = downloader_demographics(dataset)
+        for isp, count in report.hosting_downloaders:
+            assert isp in FAKE_PUBLISHER_HOSTS, (isp, count)
+
+    def test_top_lists_sorted(self, dataset):
+        report = downloader_demographics(dataset)
+        counts = [c for _name, c in report.top_countries]
+        assert counts == sorted(counts, reverse=True)
+        counts = [c for _name, c in report.top_isps]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_country_share(self, dataset):
+        report = downloader_demographics(dataset)
+        top_country, _ = report.top_countries[0]
+        assert 0 < report.country_share(top_country) <= 1.0
+        assert report.country_share("ZZ") == 0.0
+
+    def test_per_group_reports(self, dataset, groups):
+        per_group = demographics_by_group(dataset, groups)
+        assert "All" in per_group
+        assert "Top" in per_group
+        # Top torrents attract a larger audience than the All sample average.
+        assert per_group["Top"].distinct_downloaders > 0
+
+    def test_audience_overlap_bounds(self, dataset, groups):
+        overlap = audience_overlap(dataset, groups, "Fake", "Top")
+        assert 0.0 <= overlap <= 1.0
+        # Distinct per-session IPs mean near-disjoint audiences by
+        # construction, except consumption-injected publisher IPs.
+        assert overlap < 0.2
+
+    def test_self_overlap_is_one(self, dataset, groups):
+        assert audience_overlap(dataset, groups, "Top", "Top") == 1.0

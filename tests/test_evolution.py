@@ -1,0 +1,90 @@
+"""Tests for the swarm-evolution (lifecycle) analysis."""
+
+import pytest
+
+from repro.core.analysis.evolution import (
+    evolution_by_group,
+    swarm_lifecycle,
+)
+from repro.core.datasets import TorrentRecord
+from repro.portal.categories import Category
+
+
+def _record(series, publish_time=0.0):
+    record = TorrentRecord(
+        torrent_id=1,
+        infohash=b"\x01" * 20,
+        title="t",
+        category=Category.MOVIES,
+        size_bytes=1,
+        publish_time=publish_time,
+        username="u",
+    )
+    for t, seeders, leechers in series:
+        record.query_times.append(t)
+        record.seeder_counts.append(seeders)
+        record.leecher_counts.append(leechers)
+    return record
+
+
+class TestSwarmLifecycle:
+    def test_too_few_queries(self):
+        assert swarm_lifecycle(_record([(0, 1, 0), (10, 1, 1)])) is None
+
+    def test_peak_detection(self):
+        lifecycle = swarm_lifecycle(
+            _record([(0, 1, 0), (10, 1, 5), (20, 1, 9), (30, 1, 2)])
+        )
+        assert lifecycle.peak_size == 10
+        assert lifecycle.time_to_peak == 20
+
+    def test_death_detection(self):
+        lifecycle = swarm_lifecycle(
+            _record([(0, 1, 3), (10, 1, 1), (20, 0, 0), (30, 0, 0)])
+        )
+        assert lifecycle.died
+        assert lifecycle.lifetime == 20
+
+    def test_alive_at_end(self):
+        lifecycle = swarm_lifecycle(_record([(0, 1, 3), (10, 1, 2), (20, 1, 1)]))
+        assert not lifecycle.died
+        assert lifecycle.lifetime is None
+
+    def test_revival_resets_death(self):
+        """A swarm that empties then repopulates dies at the *last* emptying."""
+        lifecycle = swarm_lifecycle(
+            _record([(0, 1, 1), (10, 0, 0), (20, 1, 2), (30, 0, 0), (40, 0, 0)])
+        )
+        assert lifecycle.died
+        assert lifecycle.lifetime == 30
+
+    def test_seederless_fraction(self):
+        lifecycle = swarm_lifecycle(
+            _record([(0, 1, 2), (10, 0, 2), (20, 0, 2), (30, 1, 1)])
+        )
+        assert lifecycle.seederless_fraction == pytest.approx(0.5)
+
+
+class TestEvolutionByGroup:
+    def test_groups_measured(self, dataset, groups):
+        report = evolution_by_group(dataset, groups)
+        assert "All" in report.per_group
+        assert report.measured_torrents["All"] > 50
+
+    def test_fake_swarms_more_seederless(self, dataset, groups):
+        """Stealth decoys never report a seeder; fake swarms show far more
+        seederless observation time than Top swarms."""
+        report = evolution_by_group(dataset, groups)
+        fake = report.per_group["Fake"]["seederless_fraction"].mean
+        top = report.per_group["Top"]["seederless_fraction"].mean
+        assert fake > top
+
+    def test_most_swarms_eventually_die(self, dataset, groups):
+        report = evolution_by_group(dataset, groups)
+        assert report.died_fraction["All"] > 0.5
+
+    def test_box_ordering(self, dataset, groups):
+        report = evolution_by_group(dataset, groups)
+        for metrics in report.per_group.values():
+            for stats in metrics.values():
+                assert stats.minimum <= stats.median <= stats.maximum

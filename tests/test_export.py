@@ -1,0 +1,82 @@
+"""Tests for dataset archival (save/load round-trips)."""
+
+import os
+
+import pytest
+
+from repro.core.analysis.contribution import analyze_contribution
+from repro.core.analysis.isps import isp_ranking, ovh_vs_comcast
+from repro.core.analysis.mapping import analyze_mapping
+from repro.core.export import ArchivedGeoIp, load_dataset, save_dataset
+
+
+@pytest.fixture(scope="module")
+def archive_path(dataset, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("archive") / "campaign.sqlite")
+    save_dataset(dataset, path)
+    return path
+
+
+class TestRoundTrip:
+    def test_file_created(self, archive_path):
+        assert os.path.getsize(archive_path) > 10_000
+
+    def test_metadata_roundtrip(self, dataset, archive_path):
+        loaded = load_dataset(archive_path, dataset_services=dataset)
+        assert loaded.name == dataset.name
+        assert loaded.start_time == dataset.start_time
+        assert loaded.end_time == dataset.end_time
+        assert loaded.analysis_time == dataset.analysis_time
+        assert loaded.crawler_stats == dataset.crawler_stats
+
+    def test_records_roundtrip(self, dataset, archive_path):
+        loaded = load_dataset(archive_path, dataset_services=dataset)
+        assert set(loaded.records) == set(dataset.records)
+        for tid, original in dataset.records.items():
+            copy = loaded.records[tid]
+            assert copy.infohash == original.infohash
+            assert copy.title == original.title
+            assert copy.category is original.category
+            assert copy.username == original.username
+            assert copy.identification is original.identification
+            assert copy.publisher_ip == original.publisher_ip
+            assert copy.downloader_ips == original.downloader_ips
+            assert copy.query_times == original.query_times
+            assert copy.watched_sightings == original.watched_sightings
+            assert copy.max_population == original.max_population
+
+    def test_analyses_identical_on_loaded_dataset(self, dataset, archive_path):
+        loaded = load_dataset(archive_path, dataset_services=dataset)
+        original = analyze_contribution(dataset, top_k=20)
+        reloaded = analyze_contribution(loaded, top_k=20)
+        assert original.curve == reloaded.curve
+        assert original.gini_coefficient == reloaded.gini_coefficient
+        m_original = analyze_mapping(dataset, top_k=20)
+        m_reloaded = analyze_mapping(loaded, top_k=20)
+        assert m_original.fake_usernames == m_reloaded.fake_usernames
+        assert m_original.top_usernames == m_reloaded.top_usernames
+
+
+class TestStandaloneLoad:
+    def test_geoip_reconstructed_for_publisher_ips(self, dataset, archive_path):
+        loaded = load_dataset(archive_path)
+        assert isinstance(loaded.geoip, ArchivedGeoIp)
+        assert len(loaded.geoip) > 0
+        for record in loaded.records.values():
+            if record.publisher_ip is not None:
+                original_geo = dataset.geoip.lookup(record.publisher_ip)
+                loaded_geo = loaded.geoip.lookup(record.publisher_ip)
+                if original_geo is not None:
+                    assert loaded_geo == original_geo
+
+    def test_isp_analyses_work_standalone(self, dataset, archive_path):
+        loaded = load_dataset(archive_path)
+        original = isp_ranking(dataset)
+        reloaded = isp_ranking(loaded)
+        assert [r.isp for r in original.rows] == [r.isp for r in reloaded.rows]
+        assert ovh_vs_comcast(loaded)[0] == ovh_vs_comcast(dataset)[0]
+
+    def test_unknown_ips_resolve_to_none(self, archive_path):
+        loaded = load_dataset(archive_path)
+        assert loaded.geoip.lookup(1) is None
+        assert loaded.geoip.isp_of(1) is None

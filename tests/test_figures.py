@@ -1,0 +1,81 @@
+"""Tests for the figure-series (CSV) export."""
+
+import csv
+import io
+
+from repro.core.analysis.content_type import content_type_breakdown
+from repro.core.analysis.contribution import analyze_contribution
+from repro.core.analysis.figures import (
+    fig1_series,
+    fig2_series,
+    fig3_series,
+    fig4_series,
+    write_all_figures,
+)
+from repro.core.analysis.popularity import popularity_by_group
+from repro.core.analysis.seeding import seeding_by_group
+
+from tests.conftest import TINY_TOP_K
+
+
+def _parse_csv(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestSeries:
+    def test_fig1(self, dataset):
+        report = analyze_contribution(dataset, top_k=TINY_TOP_K)
+        series = fig1_series({"tiny": report})
+        rows = _parse_csv(series.to_csv())
+        assert rows[0] == ["dataset", "top_percent", "content_share_percent"]
+        assert len(rows) == 1 + len(report.curve)
+        shares = [float(r[2]) for r in rows[1:]]
+        assert shares == sorted(shares)
+
+    def test_fig2(self, dataset, groups):
+        breakdowns = content_type_breakdown(dataset, groups)
+        series = fig2_series(breakdowns, dataset.name)
+        rows = _parse_csv(series.to_csv())
+        groups_in_csv = {r[1] for r in rows[1:]}
+        assert set(breakdowns) == groups_in_csv
+        # Shares per group sum to ~100.
+        for group in breakdowns:
+            total = sum(float(r[3]) for r in rows[1:] if r[1] == group)
+            if breakdowns[group].num_torrents:
+                assert abs(total - 100.0) < 0.1
+
+    def test_fig3(self, dataset, groups):
+        report = popularity_by_group(dataset, groups)
+        series = fig3_series(report)
+        rows = _parse_csv(series.to_csv())
+        assert rows[0] == ["group", "min", "p25", "median", "p75", "max", "n"]
+        for row in rows[1:]:
+            values = [float(v) for v in row[1:6]]
+            assert values == sorted(values)
+
+    def test_fig4_three_panels(self, dataset, groups):
+        report = seeding_by_group(dataset, groups)
+        panels = fig4_series(report)
+        assert [p.figure for p in panels] == [
+            "fig4a_seeding_time", "fig4b_parallel", "fig4c_session_time",
+        ]
+        for panel in panels:
+            rows = _parse_csv(panel.to_csv())
+            assert len(rows) > 1
+
+    def test_write_all(self, dataset, groups, tmp_path):
+        contribution = analyze_contribution(dataset, top_k=TINY_TOP_K)
+        breakdowns = content_type_breakdown(dataset, groups)
+        popularity = popularity_by_group(dataset, groups)
+        seeding = seeding_by_group(dataset, groups)
+        paths = write_all_figures(
+            str(tmp_path / "figures"),
+            fig1_series({"tiny": contribution}),
+            [fig2_series(breakdowns, dataset.name)],
+            fig3_series(popularity),
+            fig4_series(seeding),
+        )
+        assert len(paths) == 6
+        for path in paths:
+            with open(path, encoding="utf-8") as fh:
+                assert len(fh.read().splitlines()) > 1

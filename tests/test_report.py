@@ -1,0 +1,92 @@
+"""Tests for the end-to-end report builder and its rendering."""
+
+from repro.core.analysis.report import PAPER_REFERENCE, build_report, format_report
+from repro.stats.tables import format_number, format_table
+
+
+class TestPaperReference:
+    def test_reference_has_every_experiment(self):
+        expected_keys = {
+            "fig1_top3pct_content_share",
+            "table2_ovh_share_pct",
+            "table3_ovh",
+            "table3_comcast",
+            "sec33_fake_content_share",
+            "fig3_top_over_all_median_ratio",
+            "sec51_class_top_fraction",
+            "table4_lifetime_days_avg",
+            "table5_bt_portal_value_median_usd",
+            "sec6_ovh_income_range_eur",
+            "appendix_m",
+        }
+        assert expected_keys <= set(PAPER_REFERENCE)
+
+    def test_appendix_reference_consistent(self):
+        # m=13 queries x 18 min = 234 min.
+        assert PAPER_REFERENCE["appendix_m"] * 18.0 == (
+            PAPER_REFERENCE["appendix_threshold_minutes"]
+        )
+
+
+class TestReport:
+    def test_all_artifacts_present(self, report):
+        assert report.contribution is not None
+        assert report.isp_table.rows
+        assert report.mapping is not None
+        assert report.content_types
+        assert report.popularity.per_group
+        assert report.seeding.per_group
+        assert report.incentives is not None
+        assert report.income is not None
+        assert report.ovh_income.isp == "OVH"
+
+    def test_group_shares_recorded(self, report):
+        for name in report.groups.group_names:
+            content, downloads = report.group_shares[name]
+            assert 0.0 <= content <= 1.0
+            assert 0.0 <= downloads <= 1.0
+
+    def test_format_report_contains_every_section(self, report):
+        text = format_report(report)
+        for marker in (
+            "Table 1 analogue",
+            "Figure 1",
+            "Table 2 analogue",
+            "Table 3 analogue",
+            "Section 3.3",
+            "Figure 2 analogue",
+            "Figure 3 analogue",
+            "Appendix A applied",
+            "Figure 4 analogue",
+            "Section 5.1 analogue",
+            "Table 4 analogue",
+            "Table 5 analogue",
+            "Section 6 analogue",
+        ):
+            assert marker in text, f"missing section {marker!r}"
+
+    def test_format_report_mentions_paper_targets(self, report):
+        text = format_report(report)
+        assert "paper" in text.lower()
+
+
+class TestTableFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1], ["yyyy", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) == 1  # uniform width
+
+    def test_format_table_rejects_ragged_rows(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a"], [["x", "y"]])
+
+    def test_format_number(self):
+        assert format_number(950) == "950"
+        assert format_number(33_000) == "33.00K"
+        assert format_number(2_800_000) == "2.80M"
+        assert format_number(1_400_000_000) == "1.40B"
+        assert format_number(-1500) == "-1.50K"
+        assert format_number(2.5) == "2.50"

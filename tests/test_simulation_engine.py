@@ -1,0 +1,106 @@
+"""Unit tests for the clock and event scheduler."""
+
+import pytest
+
+from repro.simulation.clock import DAY, HOUR, MINUTE, WEEK, Clock, days, hours, minutes
+from repro.simulation.engine import EventScheduler
+
+
+class TestClock:
+    def test_constants(self):
+        assert MINUTE == 1.0
+        assert HOUR == 60.0
+        assert DAY == 1440.0
+        assert WEEK == 7 * 1440.0
+        assert hours(2) == 120.0
+        assert days(1) == 1440.0
+        assert minutes(5) == 5.0
+
+    def test_advance(self):
+        clock = Clock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_no_backwards(self):
+        clock = Clock(start=5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance_to(4.0)
+
+
+class TestScheduler:
+    def test_runs_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(10.0, order.append, "b")
+        scheduler.schedule(5.0, order.append, "a")
+        scheduler.schedule(20.0, order.append, "c")
+        scheduler.run_until(100.0)
+        assert order == ["a", "b", "c"]
+        assert scheduler.clock.now == 100.0
+
+    def test_ties_run_in_schedule_order(self):
+        scheduler = EventScheduler()
+        order = []
+        for tag in ("first", "second", "third"):
+            scheduler.schedule(7.0, order.append, tag)
+        scheduler.run_until(7.0)
+        assert order == ["first", "second", "third"]
+
+    def test_run_until_stops_at_boundary(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(5.0, fired.append, 1)
+        scheduler.schedule(15.0, fired.append, 2)
+        scheduler.run_until(10.0)
+        assert fired == [1]
+        assert scheduler.pending() == 1
+        scheduler.run_until(20.0)
+        assert fired == [1, 2]
+
+    def test_callbacks_can_reschedule(self):
+        scheduler = EventScheduler()
+        ticks = []
+
+        def tick():
+            ticks.append(scheduler.clock.now)
+            if scheduler.clock.now < 50.0:
+                scheduler.schedule_after(10.0, tick)
+
+        scheduler.schedule(0.0, tick)
+        scheduler.run_until(100.0)
+        assert ticks == [0.0, 10.0, 20.0, 30.0, 40.0, 50.0]
+
+    def test_schedule_in_past_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(10.0, lambda: None)
+        scheduler.run_until(10.0)
+        with pytest.raises(ValueError, match="before now"):
+            scheduler.schedule(5.0, lambda: None)
+
+    def test_schedule_after_negative_rejected(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError):
+            scheduler.schedule_after(-1.0, lambda: None)
+
+    def test_events_run_counter(self):
+        scheduler = EventScheduler()
+        for i in range(5):
+            scheduler.schedule(float(i), lambda: None)
+        scheduler.run_until(10.0)
+        assert scheduler.events_run == 5
+
+    def test_run_all_with_cap(self):
+        scheduler = EventScheduler()
+
+        def forever():
+            scheduler.schedule_after(1.0, forever)
+
+        scheduler.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="max_events"):
+            scheduler.run_all(max_events=100)
+
+    def test_peek_time(self):
+        scheduler = EventScheduler()
+        assert scheduler.peek_time() is None
+        scheduler.schedule(3.0, lambda: None)
+        assert scheduler.peek_time() == 3.0

@@ -1,0 +1,160 @@
+"""Unit tests for the distribution samplers."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.distributions import (
+    BoundedPareto,
+    LogNormal,
+    ZipfSampler,
+    exponential,
+    poisson,
+    weighted_choice,
+)
+
+
+class TestZipf:
+    def test_ranks_in_range(self):
+        rng = random.Random(1)
+        sampler = ZipfSampler(100, 1.0)
+        for _ in range(500):
+            assert 1 <= sampler.sample(rng) <= 100
+
+    def test_rank1_most_likely(self):
+        rng = random.Random(2)
+        sampler = ZipfSampler(50, 1.2)
+        counts = [0] * 51
+        for _ in range(5000):
+            counts[sampler.sample(rng)] += 1
+        assert counts[1] == max(counts)
+
+    def test_pmf_sums_to_one(self):
+        sampler = ZipfSampler(30, 0.8)
+        total = sum(sampler.pmf(r) for r in range(1, 31))
+        assert math.isclose(total, 1.0, rel_tol=1e-9)
+
+    def test_pmf_monotone_decreasing(self):
+        sampler = ZipfSampler(10, 1.5)
+        pmfs = [sampler.pmf(r) for r in range(1, 11)]
+        assert pmfs == sorted(pmfs, reverse=True)
+
+    def test_s_zero_is_uniform(self):
+        sampler = ZipfSampler(4, 0.0)
+        for r in range(1, 5):
+            assert math.isclose(sampler.pmf(r), 0.25, rel_tol=1e-9)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(5).pmf(6)
+
+
+class TestBoundedPareto:
+    def test_samples_within_bounds(self):
+        rng = random.Random(3)
+        dist = BoundedPareto(1.2, 10.0, 1000.0)
+        for _ in range(1000):
+            assert 10.0 <= dist.sample(rng) <= 1000.0
+
+    def test_mean_close_to_analytic(self):
+        rng = random.Random(4)
+        dist = BoundedPareto(2.0, 1.0, 100.0)
+        samples = [dist.sample(rng) for _ in range(20000)]
+        empirical = sum(samples) / len(samples)
+        assert abs(empirical - dist.mean()) / dist.mean() < 0.05
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(0.0, 1.0, 10.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(1.0, 10.0, 5.0)
+
+
+class TestLogNormal:
+    def test_median_matches(self):
+        rng = random.Random(5)
+        dist = LogNormal(100.0, 1.0)
+        samples = sorted(dist.sample(rng) for _ in range(20001))
+        median = samples[len(samples) // 2]
+        assert 80.0 < median < 125.0
+
+    def test_sigma_zero_is_constant(self):
+        rng = random.Random(6)
+        dist = LogNormal(42.0, 0.0)
+        assert dist.sample(rng) == 42.0
+
+    def test_mean_formula(self):
+        dist = LogNormal(10.0, 2.0)
+        assert math.isclose(dist.mean(), 10.0 * math.exp(2.0), rel_tol=1e-12)
+
+    def test_invalid_median(self):
+        with pytest.raises(ValueError):
+            LogNormal(0.0, 1.0)
+
+
+class TestPoisson:
+    def test_zero_lambda(self):
+        assert poisson(random.Random(7), 0.0) == 0
+
+    def test_negative_lambda(self):
+        with pytest.raises(ValueError):
+            poisson(random.Random(7), -1.0)
+
+    @pytest.mark.parametrize("lam", [0.5, 3.0, 12.0, 60.0])
+    def test_mean_approximates_lambda(self, lam):
+        rng = random.Random(int(lam * 10))
+        samples = [poisson(rng, lam) for _ in range(8000)]
+        mean = sum(samples) / len(samples)
+        assert abs(mean - lam) < max(0.15, 0.08 * lam)
+
+    def test_always_non_negative_large_lambda(self):
+        rng = random.Random(8)
+        assert all(poisson(rng, 35.0) >= 0 for _ in range(2000))
+
+
+class TestExponentialAndChoice:
+    def test_exponential_mean(self):
+        rng = random.Random(9)
+        samples = [exponential(rng, 10.0) for _ in range(20000)]
+        assert abs(sum(samples) / len(samples) - 10.0) < 0.5
+
+    def test_exponential_invalid(self):
+        with pytest.raises(ValueError):
+            exponential(random.Random(1), 0.0)
+
+    def test_weighted_choice_respects_weights(self):
+        rng = random.Random(10)
+        counts = {"a": 0, "b": 0}
+        for _ in range(5000):
+            counts[weighted_choice(rng, ["a", "b"], [9.0, 1.0])] += 1
+        assert counts["a"] > 4 * counts["b"]
+
+    def test_weighted_choice_validation(self):
+        rng = random.Random(11)
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, [], [])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [0.0])
+
+
+@settings(max_examples=30)
+@given(
+    n=st.integers(min_value=1, max_value=200),
+    s=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**30),
+)
+def test_zipf_sample_always_valid(n, s, seed):
+    sampler = ZipfSampler(n, s)
+    rng = random.Random(seed)
+    assert 1 <= sampler.sample(rng) <= n

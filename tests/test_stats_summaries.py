@@ -1,0 +1,165 @@
+"""Unit tests for summary statistics (+ hypothesis invariants)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.summaries import (
+    Cdf,
+    box_stats,
+    gini,
+    min_avg_max,
+    min_med_avg_max,
+    percentile,
+    top_share_curve,
+)
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        values = [5, 1, 9]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_single_value(self):
+        assert percentile([7], 33) == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestBoxStats:
+    def test_known_values(self):
+        stats = box_stats([1, 2, 3, 4, 5])
+        assert stats.minimum == 1
+        assert stats.p25 == 2
+        assert stats.median == 3
+        assert stats.p75 == 4
+        assert stats.maximum == 5
+        assert stats.mean == 3
+        assert stats.count == 5
+
+    def test_as_dict(self):
+        d = box_stats([2.0]).as_dict()
+        assert d["median"] == 2.0 and d["count"] == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            box_stats([])
+
+
+class TestMinMedAvgMax:
+    def test_table5_style(self):
+        row = min_med_avg_max([1.0, 55.0, 440.0, 3700.0])
+        assert row.minimum == 1.0
+        assert row.maximum == 3700.0
+        assert row.median == (55.0 + 440.0) / 2
+        assert math.isclose(row.mean, (1 + 55 + 440 + 3700) / 4)
+
+    def test_table4_style(self):
+        row = min_avg_max([63.0, 466.0, 1816.0])
+        assert row.minimum == 63.0 and row.maximum == 1816.0
+
+
+class TestCdf:
+    def test_evaluate(self):
+        cdf = Cdf([1, 2, 3, 4])
+        assert cdf.evaluate(0) == 0.0
+        assert cdf.evaluate(2) == 0.5
+        assert cdf.evaluate(10) == 1.0
+
+    def test_quantile(self):
+        cdf = Cdf([10, 20, 30])
+        assert cdf.quantile(0.5) == 20
+
+    def test_len(self):
+        assert len(Cdf([1, 2])) == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Cdf([])
+
+
+class TestTopShareCurve:
+    def test_uniform_contributions(self):
+        curve = dict(top_share_curve([1] * 100, [10, 50, 100]))
+        assert math.isclose(curve[10], 10.0)
+        assert math.isclose(curve[50], 50.0)
+        assert math.isclose(curve[100], 100.0)
+
+    def test_skewed_contributions(self):
+        # One publisher with 99 files, 99 with 1 file each.
+        contributions = [99] + [1] * 99
+        curve = dict(top_share_curve(contributions, [1, 100]))
+        assert math.isclose(curve[1], 50.0)  # top 1% holds half
+        assert math.isclose(curve[100], 100.0)
+
+    def test_monotone_non_decreasing(self):
+        contributions = [5, 3, 2, 2, 1, 1, 1]
+        curve = top_share_curve(contributions, [10, 30, 60, 100])
+        shares = [s for _, s in curve]
+        assert shares == sorted(shares)
+
+    def test_invalid_point(self):
+        with pytest.raises(ValueError):
+            top_share_curve([1], [0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            top_share_curve([], [50])
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert abs(gini([1, 1, 1, 1])) < 1e-9
+
+    def test_perfect_inequality_approaches_one(self):
+        value = gini([0] * 999 + [100])
+        assert value > 0.99
+
+    def test_zero_total(self):
+        assert gini([0, 0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini([-1, 1])
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=60))
+def test_box_stats_ordering_invariant(values):
+    stats = box_stats(values)
+    assert stats.minimum <= stats.p25 <= stats.median <= stats.p75 <= stats.maximum
+    # fsum-based mean may exceed max by one ulp on identical values.
+    epsilon = 1e-9 * max(1.0, abs(stats.maximum))
+    assert stats.minimum - epsilon <= stats.mean <= stats.maximum + epsilon
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=1e4, allow_nan=False),
+             min_size=1, max_size=60),
+    st.floats(min_value=1, max_value=100, allow_nan=False),
+)
+def test_top_share_bounds_invariant(contributions, point):
+    curve = top_share_curve(contributions, [point])
+    (_x, share), = curve
+    assert 0 < share <= 100.0 + 1e-9
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=60))
+def test_gini_in_unit_interval(values):
+    assert -1e-9 <= gini(values) <= 1.0

@@ -1,0 +1,69 @@
+"""Tests for the measurement-validation module (truth-scored estimates)."""
+
+import pytest
+
+from repro.core.analysis.seeding import derive_threshold
+from repro.core.validation import (
+    score_download_coverage,
+    score_identification,
+    score_session_estimation,
+    validate_campaign,
+)
+
+
+class TestIdentificationScore:
+    def test_counts_consistent(self, dataset, world):
+        score = score_identification(dataset, world)
+        assert score.identified == dataset.num_with_publisher_ip
+        assert score.correct + score.wrong == score.identified
+        assert score.torrents_total == dataset.num_torrents
+
+    def test_high_precision(self, dataset, world):
+        score = score_identification(dataset, world)
+        assert score.precision >= 0.97
+
+    def test_coverage_in_band(self, dataset, world):
+        score = score_identification(dataset, world)
+        assert 0.3 < score.coverage < 0.9
+
+
+class TestCoverage:
+    def test_download_coverage_substantial(self, dataset, world):
+        score = score_download_coverage(dataset, world)
+        assert score.generated_downloads > 0
+        assert 0.4 < score.coverage <= 1.0
+
+
+class TestSessionEstimation:
+    def test_samples_have_truth(self, dataset, world):
+        threshold = derive_threshold(dataset).threshold_minutes
+        samples = score_session_estimation(dataset, world, threshold, limit=50)
+        assert samples
+        for sample in samples:
+            assert sample.true_minutes > 0
+            assert sample.estimated_minutes >= 0
+            assert sample.relative_error >= 0
+
+    def test_median_error_moderate(self, dataset, world):
+        """The Appendix A estimator is accurate to tens of percent."""
+        threshold = derive_threshold(dataset).threshold_minutes
+        samples = score_session_estimation(dataset, world, threshold, limit=200)
+        errors = sorted(s.relative_error for s in samples)
+        median = errors[len(errors) // 2]
+        assert median < 0.6
+
+    def test_estimates_bounded_by_monitoring(self, dataset, world):
+        threshold = derive_threshold(dataset).threshold_minutes
+        horizon = dataset.analysis_time
+        for sample in score_session_estimation(dataset, world, threshold, limit=100):
+            assert sample.estimated_minutes <= horizon
+
+
+class TestSummary:
+    def test_validate_campaign(self, dataset, world):
+        summary = validate_campaign(dataset, world)
+        assert summary.identification.precision >= 0.97
+        assert summary.coverage.coverage > 0.4
+        assert summary.session_samples > 0
+        assert summary.session_median_relative_error is not None
+        assert summary.session_median_relative_error < 1.0

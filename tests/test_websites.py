@@ -1,0 +1,146 @@
+"""Unit tests for website economics and the monitor panel."""
+
+import random
+
+import pytest
+
+from repro.websites import (
+    BusinessType,
+    MonitorPanel,
+    WebDirectory,
+    Website,
+    WebsiteMonitor,
+    default_monitor_panel,
+)
+from repro.websites.model import MonetizationMethod, generate_website
+
+
+def make_site(url="example.com", business=BusinessType.BT_PORTAL):
+    return Website(
+        url=url,
+        business_type=business,
+        monetization=(MonetizationMethod.ADS,),
+        daily_visits=21_000.0,
+        daily_income_usd=55.0,
+        value_usd=33_000.0,
+    )
+
+
+class TestWebsiteModel:
+    def test_generate_correlated_economics(self):
+        rng = random.Random(1)
+        sites = [
+            generate_website(rng, f"s{i}.com", BusinessType.BT_PORTAL,
+                             visits_median=21_000, visits_sigma=1.6)
+            for i in range(200)
+        ]
+        # Value should track income: rank correlation must be strongly +.
+        by_income = sorted(sites, key=lambda s: s.daily_income_usd)
+        ranks_value = {s.url: r for r, s in enumerate(
+            sorted(sites, key=lambda s: s.value_usd))}
+        agreements = sum(
+            1
+            for i, s in enumerate(by_income)
+            if abs(ranks_value[s.url] - i) < len(sites) // 3
+        )
+        assert agreements > len(sites) * 0.7
+
+    def test_median_visits_in_ballpark(self):
+        rng = random.Random(2)
+        visits = sorted(
+            generate_website(rng, f"v{i}.com", BusinessType.FORUM,
+                             visits_median=22_000, visits_sigma=1.6).daily_visits
+            for i in range(400)
+        )
+        median = visits[len(visits) // 2]
+        assert 10_000 < median < 50_000
+
+    def test_ads_header_check(self):
+        site = make_site()
+        assert site.posts_ads
+        assert site.http_header_third_parties()
+        no_ads = Website(
+            url="quiet.com",
+            business_type=BusinessType.FORUM,
+            monetization=(MonetizationMethod.DONATIONS,),
+            daily_visits=1.0,
+            daily_income_usd=1.0,
+            value_usd=1.0,
+        )
+        assert not no_ads.http_header_third_parties()
+
+
+class TestDirectory:
+    def test_lookup_normalises_url(self):
+        directory = WebDirectory()
+        directory.register(make_site("ultratorrents.com"))
+        for variant in (
+            "ultratorrents.com",
+            "www.ultratorrents.com",
+            "http://www.ultratorrents.com",
+            "https://ultratorrents.com/",
+            "HTTP://ULTRATORRENTS.COM",
+        ):
+            assert directory.lookup(variant) is not None
+
+    def test_lookup_unknown(self):
+        assert WebDirectory().lookup("nope.com") is None
+
+    def test_duplicate_rejected(self):
+        directory = WebDirectory()
+        directory.register(make_site())
+        with pytest.raises(ValueError):
+            directory.register(make_site())
+
+
+class TestMonitors:
+    def test_estimates_deterministic_per_monitor(self):
+        monitor = WebsiteMonitor("m1", bias=1.0, noise_sigma=0.4)
+        site = make_site()
+        a = monitor.estimate(site)
+        b = monitor.estimate(site)
+        assert a == b
+
+    def test_monitors_disagree(self):
+        site = make_site()
+        a = WebsiteMonitor("m1").estimate(site)
+        b = WebsiteMonitor("m2").estimate(site)
+        assert a.value_usd != b.value_usd
+
+    def test_panel_averages_toward_truth(self):
+        """Averaging six monitors reduces error (the paper's footnote 9)."""
+        panel = default_monitor_panel()
+        rng = random.Random(3)
+        sites = [
+            generate_website(rng, f"p{i}.com", BusinessType.BT_PORTAL,
+                             visits_median=20_000, visits_sigma=1.0)
+            for i in range(100)
+        ]
+        panel_err = 0.0
+        single_err = 0.0
+        single = panel.monitors[4]  # a biased, noisy one
+        for site in sites:
+            estimate = panel.estimate(site)
+            panel_err += abs(estimate.daily_visits - site.daily_visits) / site.daily_visits
+            lone = single.estimate(site)
+            single_err += abs(lone.daily_visits - site.daily_visits) / site.daily_visits
+        assert panel_err < single_err
+
+    def test_panel_none_for_unknown_site(self):
+        assert default_monitor_panel().estimate(None) is None
+
+    def test_panel_has_six_monitors(self):
+        assert len(default_monitor_panel().monitors) == 6
+
+    def test_panel_validation(self):
+        with pytest.raises(ValueError):
+            MonitorPanel([])
+        monitor = WebsiteMonitor("same")
+        with pytest.raises(ValueError, match="duplicate"):
+            MonitorPanel([monitor, WebsiteMonitor("same")])
+
+    def test_monitor_validation(self):
+        with pytest.raises(ValueError):
+            WebsiteMonitor("x", bias=0.0)
+        with pytest.raises(ValueError):
+            WebsiteMonitor("x", noise_sigma=-1.0)
