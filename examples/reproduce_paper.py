@@ -6,17 +6,25 @@ measurement campaign over each, and prints the complete analysis report for
 the primary (pb10) dataset plus the cross-dataset artifacts.
 
     python examples/reproduce_paper.py [--scale S] [--pop P] [--seed N]
+                                       [--report-json PATH]
 
 At --scale 1.0 (default) this crawls ~4-5k torrents across the three worlds
 and takes a couple of minutes; --scale 0.3 --pop 0.3 gives a fast preview.
+
+``--report-json`` additionally writes a structured per-campaign run report
+(dataset summaries + the full observability snapshot of every campaign) so
+successive runs can accumulate BENCH_*.json-style trajectories.
 """
 
 import argparse
+import json
+import time
 
 from repro import build_report, mn08_scenario, pb09_scenario, pb10_scenario, run_measurement
 from repro.core.analysis.contribution import analyze_contribution
 from repro.core.analysis.isps import isp_ranking, ovh_vs_comcast
 from repro.core.analysis.report import format_report
+from repro.observability import MetricsRegistry
 from repro.stats.tables import format_number, format_table
 
 
@@ -30,14 +38,33 @@ def main() -> None:
     parser.add_argument("--top-k", type=int, default=40,
                         help="size of the 'top publishers' set (the paper's "
                         "top-100 at full scale)")
+    parser.add_argument("--report-json", default=None, metavar="PATH",
+                        help="write a structured per-campaign JSON run "
+                        "report (summaries + metrics snapshots) here")
     args = parser.parse_args()
 
     datasets = {}
+    campaigns = {}
     for offset, factory in enumerate((mn08_scenario, pb09_scenario, pb10_scenario)):
         config = factory(scale=args.scale, popularity_scale=args.pop)
+        registry = MetricsRegistry()
+        started = time.perf_counter()
         datasets[config.name] = run_measurement(
-            config, seed=args.seed + offset, progress=print
+            config, seed=args.seed + offset, progress=print, metrics=registry
         )
+        dataset = datasets[config.name]
+        campaigns[config.name] = {
+            "seed": args.seed + offset,
+            "wall_seconds": time.perf_counter() - started,
+            "summary": {
+                "num_torrents": dataset.num_torrents,
+                "num_with_username": dataset.num_with_username,
+                "num_with_publisher_ip": dataset.num_with_publisher_ip,
+                "total_distinct_ips": dataset.total_distinct_ips(),
+            },
+            "crawler_stats": dict(dataset.crawler_stats),
+            "metrics": registry.snapshot(),
+        }
 
     # Table 1 across the three datasets.
     print()
@@ -84,6 +111,18 @@ def main() -> None:
     print("=" * 72)
     report = build_report(datasets["pb10"], top_k=args.top_k)
     print(format_report(report))
+
+    if args.report_json:
+        run_report = {
+            "scale": args.scale,
+            "popularity_scale": args.pop,
+            "top_k": args.top_k,
+            "campaigns": campaigns,
+        }
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            json.dump(run_report, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"\nrun report written to {args.report_json}")
 
 
 if __name__ == "__main__":

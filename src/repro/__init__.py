@@ -21,6 +21,7 @@ Quickstart::
 
 from repro.core import Dataset, IdentificationOutcome, TorrentRecord, run_measurement
 from repro.core.analysis import PaperReport, build_report, identify_groups
+from repro.observability import MetricsRegistry, get_default_registry
 from repro.simulation import (
     ScenarioConfig,
     World,
@@ -37,6 +38,8 @@ __all__ = [
     "IdentificationOutcome",
     "TorrentRecord",
     "run_measurement",
+    "MetricsRegistry",
+    "get_default_registry",
     "PaperReport",
     "build_report",
     "identify_groups",

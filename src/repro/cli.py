@@ -2,6 +2,7 @@
 
     python -m repro run pb10 --scale 0.4 --archive pb10.sqlite
     python -m repro report pb10 --scale 0.4 --top-k 40
+    python -m repro metrics tiny --sim-only
     python -m repro monitor --days 6
     python -m repro appendix --n 165 --w 50 --spacing 18
 
@@ -13,6 +14,10 @@ Subcommands:
 ``report``
     Run a campaign and print the complete analysis report (every table and
     figure of the paper).
+``metrics``
+    Run a campaign and emit the observability snapshot as JSON (counters,
+    gauges, histogram summaries across engine/crawler/tracker/swarm/portal;
+    ``--sim-only`` drops wall-clock timings so output is seed-deterministic).
 ``monitor``
     Run the Section 7 live monitoring application over a small world and
     print the database view.
@@ -23,6 +28,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -31,6 +37,7 @@ from repro.core.collector import run_measurement
 from repro.core.export import save_dataset
 from repro.core.monitor import ContentPublishingMonitor
 from repro.core.sessions import offline_threshold, required_queries
+from repro.observability import MetricsRegistry
 from repro.simulation import (
     World,
     mn08_scenario,
@@ -98,6 +105,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    config = _scenario_from_args(args)
+    registry = MetricsRegistry()
+    run_measurement(config, seed=args.seed, metrics=registry)
+    payload = registry.snapshot(include_wall=not args.sim_only)
+    if args.trace:
+        payload["_trace"] = {
+            "dropped": registry.trace.dropped,
+            "events": registry.trace.to_dicts()[-args.trace:],
+        }
+    text = json.dumps(payload, sort_keys=True, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"metrics written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_monitor(args: argparse.Namespace) -> int:
     import dataclasses
 
@@ -162,6 +189,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_options(report_parser)
     report_parser.add_argument("--top-k", type=int, default=40)
     report_parser.set_defaults(func=_cmd_report)
+
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="run a campaign and emit the observability snapshot as JSON",
+    )
+    _add_scenario_options(metrics_parser)
+    metrics_parser.add_argument(
+        "--sim-only", action="store_true",
+        help="exclude wall-clock instruments (seed-deterministic output)",
+    )
+    metrics_parser.add_argument(
+        "--trace", type=int, default=0, metavar="N",
+        help="append the last N trace-ring events under '_trace'",
+    )
+    metrics_parser.add_argument("--output", help="write the JSON here")
+    metrics_parser.set_defaults(func=_cmd_metrics)
 
     monitor_parser = sub.add_parser("monitor", help="run the Section 7 live "
                                     "monitoring application")

@@ -6,24 +6,70 @@ This is the one-call entry point the examples and benchmarks use::
     from repro.simulation import pb10_scenario
 
     dataset = run_measurement(pb10_scenario(scale=0.4), seed=2010)
+
+Each run gets its own :class:`~repro.observability.MetricsRegistry` (unless
+one is injected via ``metrics=`` or ``config.metrics``), so telemetry never
+bleeds between campaigns and two same-seed runs produce byte-identical
+sim-clock snapshots.  The final snapshot rides on ``dataset.metrics``; wall
+timers (``campaign.build_world_wall_ms``, ``campaign.crawl_wall_ms``) carry
+the real performance numbers.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from repro.core.crawler import Crawler
 from repro.core.datasets import Dataset
+from repro.observability import MetricsRegistry
 from repro.simulation.engine import EventScheduler
 from repro.simulation.scenarios import ScenarioConfig
 from repro.simulation.world import World
+
+
+def _resolve_registry(
+    config: ScenarioConfig, metrics: Optional[MetricsRegistry]
+) -> MetricsRegistry:
+    if metrics is not None:
+        return metrics
+    if config.metrics is not None:
+        return config.metrics
+    return MetricsRegistry()
+
+
+def _run(
+    config: ScenarioConfig,
+    seed: int,
+    registry: MetricsRegistry,
+    report: Callable[[str], None],
+) -> Tuple[Dataset, World]:
+    report(f"[{config.name}] building world (seed={seed})")
+    with registry.timer("campaign.build_world_wall_ms"):
+        world = World.build(config, seed, metrics=registry)
+    report(
+        f"[{config.name}] world ready: {world.portal.num_items} torrents, "
+        f"{len(world.population.agents)} agents"
+    )
+
+    scheduler = EventScheduler(metrics=registry)
+    crawler_rng = random.Random(random.Random(seed).getrandbits(64) ^ 0xC4A31)
+    crawler = Crawler(world, scheduler, crawler_rng)
+    crawler.start()
+    with registry.timer("campaign.crawl_wall_ms"):
+        scheduler.run_until(config.horizon_minutes)
+    report(
+        f"[{config.name}] crawl finished: {scheduler.events_run} events, "
+        f"{crawler.stats['announces']} announces"
+    )
+    return crawler.build_dataset(), world
 
 
 def run_measurement(
     config: ScenarioConfig,
     seed: int = 2010,
     progress: Optional[Callable[[str], None]] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Dataset:
     """Run one full measurement campaign against a freshly built world."""
 
@@ -31,37 +77,20 @@ def run_measurement(
         if progress is not None:
             progress(message)
 
-    report(f"[{config.name}] building world (seed={seed})")
-    world = World.build(config, seed)
-    report(
-        f"[{config.name}] world ready: {world.portal.num_items} torrents, "
-        f"{len(world.population.agents)} agents"
-    )
-
-    scheduler = EventScheduler()
-    crawler_rng = random.Random(random.Random(seed).getrandbits(64) ^ 0xC4A31)
-    crawler = Crawler(world, scheduler, crawler_rng)
-    crawler.start()
-    scheduler.run_until(config.horizon_minutes)
-    report(
-        f"[{config.name}] crawl finished: {scheduler.events_run} events, "
-        f"{crawler.stats['announces']} announces"
-    )
-    return crawler.build_dataset()
+    dataset, _world = _run(config, seed, _resolve_registry(config, metrics), report)
+    return dataset
 
 
 def run_measurement_with_world(
-    config: ScenarioConfig, seed: int = 2010
-) -> "tuple[Dataset, World]":
+    config: ScenarioConfig,
+    seed: int = 2010,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Tuple[Dataset, World]:
     """Like :func:`run_measurement` but also return the world (ground truth).
 
     Tests use this to validate the measurement pipeline against the truth;
     analysis code must only ever receive the :class:`Dataset`.
     """
-    world = World.build(config, seed)
-    scheduler = EventScheduler()
-    crawler_rng = random.Random(random.Random(seed).getrandbits(64) ^ 0xC4A31)
-    crawler = Crawler(world, scheduler, crawler_rng)
-    crawler.start()
-    scheduler.run_until(config.horizon_minutes)
-    return crawler.build_dataset(), world
+    return _run(
+        config, seed, _resolve_registry(config, metrics), lambda message: None
+    )

@@ -28,6 +28,7 @@ from typing import Dict, Optional, Set
 
 from repro.core.datasets import Dataset, IdentificationOutcome, TorrentRecord
 from repro.core.identification import identify_publisher
+from repro.observability import MetricsRegistry, get_default_registry
 from repro.peerwire import BitfieldProber
 from repro.portal.rss import RssEntry
 from repro.simulation.engine import EventScheduler
@@ -52,6 +53,7 @@ class Crawler:
         scheduler: EventScheduler,
         rng: random.Random,
         settings: Optional[CrawlerSettings] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.world = world
         self.scheduler = scheduler
@@ -72,6 +74,21 @@ class Crawler:
             "probes": 0,
             "torrents_discovered": 0,
         }
+        if metrics is not None:
+            self.metrics = metrics
+        elif getattr(world, "metrics", None) is not None:
+            self.metrics = world.metrics
+        else:
+            self.metrics = get_default_registry()
+        registry = self.metrics
+        self._m_rss_polls = registry.counter("crawler.rss_polls")
+        self._m_announces = registry.counter("crawler.announces")
+        self._m_discovered = registry.counter("crawler.torrents_discovered")
+        self._m_identification = registry.counter("crawler.identification")
+        self._m_monitor_stops = registry.counter("crawler.monitor_stops")
+        self._m_watchlist = registry.gauge("crawler.watchlist_size")
+        self._m_lag = registry.histogram("crawler.discovery_lag_minutes")
+        self._m_probes = registry.gauge("crawler.probes")
 
     # ------------------------------------------------------------------
     # Campaign control
@@ -86,6 +103,7 @@ class Crawler:
     def _poll_rss(self) -> None:
         now = self.scheduler.clock.now
         self.stats["rss_polls"] += 1
+        self._m_rss_polls.inc()
         entries = self.world.portal.feed.entries_between(self._last_rss_time, now)
         self._last_rss_time = now
         for entry in entries:
@@ -106,10 +124,16 @@ class Crawler:
         )
         self.records[entry.torrent_id] = record
         self.stats["torrents_discovered"] += 1
+        self._m_discovered.inc()
+        self._m_lag.observe(now - entry.published_time)
+        self.metrics.trace.record(
+            now, "crawler.discover", torrent_id=entry.torrent_id
+        )
 
         torrent_bytes = self.world.portal.get_torrent_file(entry.torrent_id, now)
         if torrent_bytes is None:
             record.identification = IdentificationOutcome.TORRENT_GONE
+            self._m_identification.inc(outcome=IdentificationOutcome.TORRENT_GONE.name)
             record.done = True
             return
         meta = parse_torrent(torrent_bytes)
@@ -152,7 +176,9 @@ class Crawler:
             response = decode_announce_response(raw)
         except TrackerError:
             self.stats["announce_failures"] += 1
+            self._m_announces.inc(outcome="failure")
             return None
+        self._m_announces.inc(outcome="ok")
         self._process_response(record, response, now)
         return response
 
@@ -178,10 +204,18 @@ class Crawler:
             response, prober, now, max_probe_peers=self.settings.max_probe_peers
         )
         record.identification = result.outcome
+        self._m_identification.inc(outcome=result.outcome.name)
         if result.publisher_ip is not None:
             record.publisher_ip = result.publisher_ip
             record.identified_time = now
             self.watchlist.add(result.publisher_ip)
+            self._m_watchlist.set(len(self.watchlist))
+            self.metrics.trace.record(
+                now,
+                "crawler.publisher_identified",
+                torrent_id=record.torrent_id,
+                ip=result.publisher_ip,
+            )
             # The publisher's own sightings start with this observation, and
             # it must not be counted as a downloader of its own torrent.
             record.downloader_ips.discard(result.publisher_ip)
@@ -236,6 +270,11 @@ class Crawler:
         if record.empty_streak >= self.settings.empty_replies_to_stop:
             record.done = True
             record.monitoring_ended = now
+            self._m_monitor_stops.inc(reason="empty_replies")
+            self.metrics.trace.record(
+                now, "crawler.monitor_stop", torrent_id=torrent_id,
+                reason="empty_replies",
+            )
             return
 
         interval = max(response.interval_seconds / 60.0,
@@ -246,6 +285,7 @@ class Crawler:
         else:
             record.done = True
             record.monitoring_ended = self._hard_stop
+            self._m_monitor_stops.inc(reason="horizon")
 
     # ------------------------------------------------------------------
     # Results
@@ -255,6 +295,16 @@ class Crawler:
         self.stats["probes"] = sum(
             prober.probes_sent for prober in self._probers.values()
         )
+        self._m_probes.set(self.stats["probes"])
+        # Final identification outcome per torrent (idempotent gauge, unlike
+        # the attempt counter which counts every retry).
+        final = self.metrics.gauge("crawler.identification_final")
+        outcomes: Dict[str, int] = {}
+        for record in self.records.values():
+            name = record.identification.name
+            outcomes[name] = outcomes.get(name, 0) + 1
+        for name, count in outcomes.items():
+            final.set(count, outcome=name)
         return Dataset(
             name=config.name,
             config=config,
@@ -267,4 +317,5 @@ class Crawler:
             web_directory=self.world.web_directory,
             monitor_panel=default_monitor_panel(),
             crawler_stats=dict(self.stats),
+            metrics=self.metrics.snapshot(),
         )

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.geoip import GeoIpDatabase
 from repro.portal import Portal
@@ -109,6 +109,9 @@ class Dataset:
     web_directory: WebDirectory
     monitor_panel: MonitorPanel
     crawler_stats: Dict[str, int] = field(default_factory=dict)
+    # Full observability snapshot (MetricsRegistry.snapshot()) taken when the
+    # campaign's dataset was built; {} for datasets loaded from old archives.
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Table 1-style accessors

@@ -95,6 +95,7 @@ def save_dataset(dataset: Dataset, path: str) -> None:
             "end_time": str(dataset.end_time),
             "analysis_time": str(dataset.analysis_time),
             "crawler_stats": json.dumps(dataset.crawler_stats),
+            "metrics": json.dumps(dataset.metrics, sort_keys=True),
             "config_name": dataset.config.name,
             "portal_name": dataset.config.portal_name,
             "rss_includes_username": str(int(dataset.config.rss_includes_username)),
@@ -242,4 +243,5 @@ def load_dataset(
         web_directory=web_directory,  # type: ignore[arg-type]
         monitor_panel=monitor_panel,  # type: ignore[arg-type]
         crawler_stats=json.loads(meta["crawler_stats"]),
+        metrics=json.loads(meta.get("metrics", "{}")),
     )

@@ -1,0 +1,353 @@
+"""Dependency-free metrics: counters, gauges, histograms, labeled timers.
+
+The registry is the campaign's flight recorder.  Every subsystem of the
+reproduction (engine, crawler, tracker, swarms, portal) increments
+instruments here so a run can answer "where did the time go?" and "did this
+change alter what the crawler observed?" without re-deriving anything from
+the dataset.
+
+Two clock domains coexist and must never be mixed:
+
+- **sim** instruments are driven purely by simulated state (event counts,
+  simulated timestamps read from :class:`~repro.simulation.clock.Clock`,
+  response sizes).  Given one seed they are bit-for-bit reproducible, so
+  ``to_json(include_wall=False)`` of two same-seed runs compares equal and
+  the determinism regression test can guard the instrumentation itself.
+- **wall** instruments (``wall=True`` histograms, :meth:`MetricsRegistry.timer`)
+  read ``time.perf_counter`` and carry the real performance numbers; they are
+  excluded from deterministic snapshots.
+
+Instruments are labeled: ``counter.inc(outcome="ok")`` keeps one value per
+distinct label set, like every mainstream metrics facade, but with zero
+third-party dependencies and a deterministic serialisation order.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.observability.tracing import TraceBuffer
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+class MetricsError(ValueError):
+    """Raised on instrument misuse (type conflicts, bad values)."""
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    """Canonical hashable form of a label set (sorted, stringified)."""
+    if not labels:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _label_string(key: LabelKey) -> str:
+    """Human/JSON form of a label key: ``"a=1,b=x"`` (``""`` if unlabeled)."""
+    return ",".join(f"{k}={v}" for k, v in key)
+
+
+class _Instrument:
+    """Common name/label plumbing for all instrument kinds."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise MetricsError("instrument name must be non-empty")
+        self.name = name
+
+    def snapshot_values(self) -> Dict[str, Any]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count, one value per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise MetricsError(
+                f"counter {self.name!r} cannot decrease (amount={amount})"
+            )
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every label set."""
+        return sum(self._values.values())
+
+    def snapshot_values(self) -> Dict[str, Any]:
+        return {
+            _label_string(key): self._values[key]
+            for key in sorted(self._values)
+        }
+
+
+class Gauge(_Instrument):
+    """A value that can move both ways (heap depth, watchlist size...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def add(self, amount: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def snapshot_values(self) -> Dict[str, Any]:
+        return {
+            _label_string(key): self._values[key]
+            for key in sorted(self._values)
+        }
+
+
+class _HistogramState:
+    """Per-label-set accumulation with a bounded, deterministic sample set.
+
+    count/sum/min/max are exact.  Quantiles come from retained samples; once
+    ``max_samples`` observations are held the sample list is decimated (every
+    second sample kept) and the retention stride doubles, so memory stays
+    bounded and the retained set depends only on the observation sequence --
+    never on wall time or randomness.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "samples", "stride")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self.samples: List[float] = []
+        self.stride = 1
+
+    def observe(self, value: float, max_samples: int) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if (self.count - 1) % self.stride == 0:
+            self.samples.append(value)
+            if len(self.samples) >= max_samples:
+                self.samples = self.samples[::2]
+                self.stride *= 2
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the retained samples."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(int(q * len(ordered) + 0.5), 1)
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.total / self.count,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+class Histogram(_Instrument):
+    """Distribution summary (count/sum/min/max/mean + p50/p90/p99)."""
+
+    kind = "histogram"
+    DEFAULT_MAX_SAMPLES = 4096
+
+    def __init__(
+        self, name: str, wall: bool = False, max_samples: int = DEFAULT_MAX_SAMPLES
+    ) -> None:
+        super().__init__(name)
+        if max_samples < 2:
+            raise MetricsError("max_samples must be >= 2")
+        self.wall = wall
+        self.max_samples = max_samples
+        self._states: Dict[LabelKey, _HistogramState] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _HistogramState()
+        state.observe(float(value), self.max_samples)
+
+    def count(self, **labels: Any) -> int:
+        state = self._states.get(_label_key(labels))
+        return state.count if state is not None else 0
+
+    def summary(self, **labels: Any) -> Dict[str, float]:
+        state = self._states.get(_label_key(labels))
+        return state.summary() if state is not None else {"count": 0}
+
+    def snapshot_values(self) -> Dict[str, Any]:
+        return {
+            _label_string(key): self._states[key].summary()
+            for key in sorted(self._states)
+        }
+
+
+class Timer:
+    """Context manager that observes an elapsed duration into a histogram.
+
+    ``clock_fn`` decides the domain: ``time.perf_counter`` (seconds,
+    converted to milliseconds) for wall timers, ``lambda: clock.now``
+    (simulated minutes, recorded as-is) for sim timers.
+    """
+
+    __slots__ = ("_histogram", "_labels", "_clock_fn", "_scale", "_start")
+
+    def __init__(
+        self,
+        histogram: Histogram,
+        labels: Dict[str, Any],
+        clock_fn: Callable[[], float],
+        scale: float = 1.0,
+    ) -> None:
+        self._histogram = histogram
+        self._labels = labels
+        self._clock_fn = clock_fn
+        self._scale = scale
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = self._clock_fn()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        elapsed = (self._clock_fn() - self._start) * self._scale
+        self._histogram.observe(elapsed, **self._labels)
+
+
+class MetricsRegistry:
+    """All instruments of one run, plus the trace ring buffer.
+
+    Instruments are created on first use and looked up by name thereafter;
+    requesting an existing name as a different kind is an error (it would
+    silently split one metric into two).
+    """
+
+    def __init__(self, trace_capacity: int = 1024) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+        self.trace = TraceBuffer(capacity=trace_capacity)
+
+    # ------------------------------------------------------------------
+    # Instrument factories
+    # ------------------------------------------------------------------
+    def _get(self, name: str, kind: type, **kwargs: Any) -> _Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name, **kwargs)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise MetricsError(
+                f"instrument {name!r} already registered as "
+                f"{instrument.kind}, requested {kind.kind}"  # type: ignore[attr-defined]
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        wall: bool = False,
+        max_samples: int = Histogram.DEFAULT_MAX_SAMPLES,
+    ) -> Histogram:
+        histogram = self._get(name, Histogram, wall=wall, max_samples=max_samples)
+        return histogram  # type: ignore[return-value]
+
+    def timer(self, name: str, **labels: Any) -> Timer:
+        """Wall-clock timer; records milliseconds into a ``wall`` histogram."""
+        histogram = self.histogram(name, wall=True)
+        return Timer(histogram, labels, time.perf_counter, scale=1000.0)
+
+    def sim_timer(self, name: str, clock: Any, **labels: Any) -> Timer:
+        """Simulated-clock timer; records elapsed simulated minutes.
+
+        ``clock`` is anything with a ``now`` attribute (a
+        :class:`~repro.simulation.clock.Clock`), so durations derive from
+        event-engine time and stay deterministic under a fixed seed.
+        """
+        histogram = self.histogram(name, wall=False)
+        return Timer(histogram, labels, lambda: clock.now, scale=1.0)
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+    def instrument_names(self, include_wall: bool = True) -> List[str]:
+        names = []
+        for name, instrument in self._instruments.items():
+            if not include_wall and getattr(instrument, "wall", False):
+                continue
+            names.append(name)
+        return sorted(names)
+
+    def snapshot(self, include_wall: bool = True) -> Dict[str, Any]:
+        """A plain-dict copy of every instrument (safe to mutate/serialise)."""
+        out: Dict[str, Any] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            wall = bool(getattr(instrument, "wall", False))
+            if not include_wall and wall:
+                continue
+            entry: Dict[str, Any] = {
+                "type": instrument.kind,
+                "values": instrument.snapshot_values(),
+            }
+            if wall:
+                entry["wall"] = True
+            out[name] = entry
+        return out
+
+    def to_json(
+        self, include_wall: bool = True, indent: Optional[int] = None
+    ) -> str:
+        """Deterministic JSON: with ``include_wall=False`` two same-seed runs
+        serialise byte-identically."""
+        return json.dumps(
+            self.snapshot(include_wall=include_wall),
+            sort_keys=True,
+            indent=indent,
+        )
+
+    def clear(self) -> None:
+        self._instruments.clear()
+        self.trace.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments

@@ -1,0 +1,69 @@
+"""Bounded event tracing: the last N interesting things that happened.
+
+A :class:`TraceBuffer` is a fixed-capacity ring of structured events.  Hot
+paths may record into it unconditionally -- appends are O(1), old events are
+evicted silently (only a counter remembers them), and nothing here ever
+allocates proportionally to campaign size.  It answers the "what was the
+crawler doing right before X?" question that aggregated metrics cannot.
+
+Timestamps are supplied by the caller (simulated minutes almost everywhere)
+so traces are as reproducible as the run that produced them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence: a timestamp, a name, and free-form fields."""
+
+    time: float
+    name: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"time": self.time, "name": self.name, **self.fields}
+
+
+class TraceBuffer:
+    """Fixed-capacity ring buffer of :class:`TraceEvent`."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._recorded = 0
+
+    def record(self, time: float, name: str, **fields: Any) -> None:
+        """Append one event; evicts the oldest once the ring is full."""
+        self._events.append(TraceEvent(time=time, name=name, fields=fields))
+        self._recorded += 1
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (including evicted ones)."""
+        return self._recorded
+
+    @property
+    def dropped(self) -> int:
+        """How many events the ring has already forgotten."""
+        return self._recorded - len(self._events)
+
+    def events(self) -> List[TraceEvent]:
+        """Retained events, oldest first."""
+        return list(self._events)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [event.to_dict() for event in self._events]
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.observability import MetricsRegistry, get_default_registry
 from repro.portal.accounts import AccountRegistry
 from repro.portal.categories import Category
 from repro.portal.pages import ContentPage, UserPage
@@ -59,12 +60,19 @@ class _Item:
 class Portal:
     """One BitTorrent portal (index + feed + accounts + moderation)."""
 
-    def __init__(self, config: PortalConfig) -> None:
+    def __init__(
+        self, config: PortalConfig, metrics: Optional[MetricsRegistry] = None
+    ) -> None:
         self.config = config
         self.accounts = AccountRegistry()
         self.feed = RssFeed(include_username=config.rss_includes_username)
         self._items: Dict[int, _Item] = {}
         self._next_id = 1
+        self.metrics = metrics if metrics is not None else get_default_registry()
+        self._m_publishes = self.metrics.counter("portal.publishes")
+        self._m_removals = self.metrics.counter("portal.removals_scheduled")
+        self._m_bans = self.metrics.counter("portal.account_bans")
+        self._m_downloads = self.metrics.counter("portal.torrent_downloads")
 
     # ------------------------------------------------------------------
     # Publishing (world-facing)
@@ -120,15 +128,24 @@ class Portal:
                 username=username,
             )
         )
+        self._m_publishes.inc(kind=payload_kind)
+        self.metrics.trace.record(
+            time, "portal.publish", torrent_id=torrent_id, username=username
+        )
         return torrent_id
 
     def schedule_removal(self, torrent_id: int, removal_time: float) -> None:
         """Moderation decision: this torrent disappears at ``removal_time``."""
         item = self._require(torrent_id)
         item.removal_time = removal_time
+        self._m_removals.inc()
+        self.metrics.trace.record(
+            removal_time, "portal.moderation_removal", torrent_id=torrent_id
+        )
 
     def ban_account(self, username: str, time: float) -> None:
         self.accounts.ban(username, time)
+        self._m_bans.inc()
 
     # ------------------------------------------------------------------
     # Public views (crawler / analyst-facing)
@@ -145,7 +162,11 @@ class Portal:
     def get_torrent_file(self, torrent_id: int, now: float) -> Optional[bytes]:
         """The .torrent bytes, or None once moderation removed the item."""
         item = self._require(torrent_id)
-        return item.torrent_bytes if self._visible(item, now) else None
+        if not self._visible(item, now):
+            self._m_downloads.inc(result="gone")
+            return None
+        self._m_downloads.inc(result="ok")
+        return item.torrent_bytes
 
     def content_page(self, torrent_id: int, now: float) -> Optional[ContentPage]:
         item = self._require(torrent_id)

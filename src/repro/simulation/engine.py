@@ -6,25 +6,56 @@ simulations bit-for-bit reproducible from a seed.
 
 Callbacks may schedule further events (that is how the crawler's periodic
 tracker polling sustains itself).
+
+The scheduler is instrumented through a
+:class:`~repro.observability.MetricsRegistry`:
+
+- ``engine.events_run`` (counter, sim): callbacks executed;
+- ``engine.heap_depth`` (histogram, sim): pending-queue depth sampled at
+  every pop -- the campaign's backlog profile;
+- ``engine.sim_time_minutes`` (gauge, sim): the clock after the last run;
+- ``engine.callback_wall_ms`` (histogram, wall, labeled by callback):
+  real time spent inside each callback kind -- the "where does campaign
+  time go?" number.  Wall timings are inherently nondeterministic and are
+  excluded from deterministic snapshots.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
+import time as _time
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.observability import MetricsRegistry, get_default_registry
 from repro.simulation.clock import Clock
+
+
+def _callback_label(callback: Callable[..., None]) -> str:
+    name = getattr(callback, "__qualname__", None)
+    if name is None:
+        name = type(callback).__name__
+    return name
 
 
 class EventScheduler:
     """Run callbacks at simulated times, in time order."""
 
-    def __init__(self, clock: Optional[Clock] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.clock = clock if clock is not None else Clock()
+        self.metrics = metrics if metrics is not None else get_default_registry()
         self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
         self._seq = itertools.count()
         self._events_run = 0
+        self._m_events = self.metrics.counter("engine.events_run")
+        self._m_depth = self.metrics.histogram("engine.heap_depth")
+        self._m_sim_time = self.metrics.gauge("engine.sim_time_minutes")
+        self._m_callback = self.metrics.histogram("engine.callback_wall_ms", wall=True)
 
     @property
     def events_run(self) -> int:
@@ -34,8 +65,13 @@ class EventScheduler:
         """Schedule ``callback(*args)`` at simulated ``time``.
 
         Scheduling in the past is an error: it means a component computed a
-        stale timestamp, which would silently reorder causality.
+        stale timestamp, which would silently reorder causality.  NaN and
+        infinite times are rejected explicitly -- NaN compares false against
+        everything, so it would slip past the past-time guard and poison the
+        heap's ordering invariant.
         """
+        if not math.isfinite(time):
+            raise ValueError(f"cannot schedule at non-finite time {time!r}")
         if time < self.clock.now:
             raise ValueError(
                 f"cannot schedule at {time:.2f} before now={self.clock.now:.2f}"
@@ -45,22 +81,32 @@ class EventScheduler:
     def schedule_after(
         self, delay: float, callback: Callable[..., None], *args: Any
     ) -> None:
-        if delay < 0:
-            raise ValueError(f"delay must be >= 0, got {delay}")
+        if not math.isfinite(delay) or delay < 0:
+            raise ValueError(f"delay must be finite and >= 0, got {delay}")
         self.schedule(self.clock.now + delay, callback, *args)
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
         return self._heap[0][0] if self._heap else None
 
+    def _dispatch(self, time: float, callback: Callable[..., None], args: tuple) -> None:
+        """Advance the clock, run one callback, account for it."""
+        self._m_depth.observe(len(self._heap) + 1)
+        self.clock.advance_to(time)
+        started = _time.perf_counter()
+        callback(*args)
+        elapsed_ms = (_time.perf_counter() - started) * 1000.0
+        self._events_run += 1
+        self._m_events.inc()
+        self._m_callback.observe(elapsed_ms, callback=_callback_label(callback))
+
     def run_until(self, end_time: float) -> None:
         """Run all events with time <= end_time, then advance the clock to it."""
         while self._heap and self._heap[0][0] <= end_time:
             time, _seq, callback, args = heapq.heappop(self._heap)
-            self.clock.advance_to(time)
-            callback(*args)
-            self._events_run += 1
+            self._dispatch(time, callback, args)
         self.clock.advance_to(max(self.clock.now, end_time))
+        self._m_sim_time.set(self.clock.now)
 
     def run_all(self, max_events: Optional[int] = None) -> None:
         """Drain the queue completely (bounded by ``max_events`` if given)."""
@@ -71,9 +117,8 @@ class EventScheduler:
                     raise RuntimeError("max_events exhausted; runaway schedule?")
                 remaining -= 1
             time, _seq, callback, args = heapq.heappop(self._heap)
-            self.clock.advance_to(time)
-            callback(*args)
-            self._events_run += 1
+            self._dispatch(time, callback, args)
+        self._m_sim_time.set(self.clock.now)
 
     def pending(self) -> int:
         return len(self._heap)

@@ -19,8 +19,10 @@ the paper's structure at a fraction of the cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.agents.population import PopulationConfig
+from repro.observability import MetricsRegistry
 from repro.tracker import TrackerConfig
 
 
@@ -66,6 +68,14 @@ class ScenarioConfig:
     fake_detection_mean_days: float = 1.5  # portal moderation latency
     # Mean download rate for peers, KB/s (2010-era home downlink).
     peer_download_rate_kbs: float = 150.0
+    # Observability: campaigns built from this config send their telemetry
+    # here.  None means "whatever the entry point injects" (run_measurement
+    # creates a fresh registry per run; bare World.build falls back to the
+    # process-global default).  Excluded from equality so configs still
+    # compare by their scientific parameters alone.
+    metrics: Optional[MetricsRegistry] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.window_days <= 0 or self.post_window_days < 0:

@@ -40,6 +40,7 @@ from repro.agents.population import (
 from repro.agents.profiles import IpPolicy, PromoPlacement, PublisherClass
 from repro.geoip import AddressPlan, GeoIpDatabase, default_isp_profiles
 from repro.geoip.isps import IspKind
+from repro.observability import MetricsRegistry, get_default_registry
 from repro.portal import Portal, PortalConfig
 from repro.portal.categories import Category
 from repro.simulation.clock import DAY, HOUR
@@ -113,6 +114,7 @@ class World:
         tracker: Tracker,
         portal: Portal,
         population: Population,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config
         self.seed = seed
@@ -121,6 +123,7 @@ class World:
         self.tracker = tracker
         self.portal = portal
         self.population = population
+        self.metrics = metrics if metrics is not None else get_default_registry()
         self.truth = WorldTruth()
         self._swarms_by_torrent_id: Dict[int, Swarm] = {}
         self._num_pieces_by_torrent_id: Dict[int, int] = {}
@@ -129,7 +132,15 @@ class World:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, config: ScenarioConfig, seed: int) -> "World":
+    def build(
+        cls,
+        config: ScenarioConfig,
+        seed: int,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "World":
+        registry = metrics if metrics is not None else config.metrics
+        if registry is None:
+            registry = get_default_registry()
         master = random.Random(seed)
         plan_rng = random.Random(master.getrandbits(64))
         pop_rng = random.Random(master.getrandbits(64))
@@ -138,16 +149,21 @@ class World:
 
         plan = AddressPlan(default_isp_profiles(), plan_rng)
         geoip = plan.build_database()
-        tracker = Tracker(ANNOUNCE_URL, tracker_rng, config.tracker)
+        tracker = Tracker(ANNOUNCE_URL, tracker_rng, config.tracker, metrics=registry)
         portal = Portal(
             PortalConfig(
                 name=config.portal_name,
                 rss_includes_username=config.rss_includes_username,
-            )
+            ),
+            metrics=registry,
         )
         population = build_population(pop_rng, plan, config.population)
-        world = cls(config, seed, plan, geoip, tracker, portal, population)
+        world = cls(
+            config, seed, plan, geoip, tracker, portal, population, metrics=registry
+        )
+        registry.gauge("world.agents").set(len(population.agents))
         world._generate(workload_rng)
+        registry.gauge("world.torrents").set(portal.num_items)
         return world
 
     @property
@@ -395,7 +411,7 @@ class World:
         if prepublished:
             birth = publish_time - rng.uniform(3 * HOUR, 2 * DAY)
 
-        swarm = Swarm(infohash=meta.infohash, birth_time=birth)
+        swarm = Swarm(infohash=meta.infohash, birth_time=birth, metrics=self.metrics)
 
         # Publisher seeding sessions.
         seederless = rng.random() < config.no_seeder_fraction
@@ -444,6 +460,7 @@ class World:
             ),
             behavior=behavior,
             mint_ip=mint_consumer,
+            metrics=self.metrics,
         )
         swarm.add_sessions(downloader_sessions)
 

@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro.observability import MetricsRegistry, get_default_registry
 from repro.swarm.peer import PeerSession
 
 
@@ -73,24 +74,34 @@ def generate_downloader_sessions(
     popularity: PopularityModel,
     behavior: DownloaderBehavior,
     mint_ip: Callable[[], int],
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[PeerSession]:
     """Generate every downloader session a torrent will ever have.
 
     ``mint_ip`` supplies a fresh consumer-ISP address per downloader (distinct
     downloaders have distinct IPs; the analysis counts distinct IPs exactly
     like the paper does).
+
+    Generation outcomes feed the ``swarm.sessions_generated`` counter
+    (labeled ``kind=fake|aborted|seeder|hit_and_run``) and the suppressed-
+    by-moderation count feeds ``swarm.arrivals_suppressed``.
     """
+    registry = metrics if metrics is not None else get_default_registry()
+    generated = registry.counter("swarm.sessions_generated")
+    suppressed = registry.counter("swarm.arrivals_suppressed")
     sessions: List[PeerSession] = []
     for _ in range(popularity.total_downloads):
         offset = rng.expovariate(1.0 / popularity.decay_tau)
         join = birth_time + offset
         if popularity.cutoff is not None and join > popularity.cutoff:
+            suppressed.inc()
             continue  # content removed / forgotten before this arrival
         ip = mint_ip()
         natted = rng.random() < behavior.nat_probability
 
         if behavior.fake_content:
             # Disappointed victim: partial download, quick exit, no seeding.
+            generated.inc(kind="fake")
             linger = rng.expovariate(1.0 / behavior.mean_fake_linger_minutes)
             sessions.append(
                 PeerSession(
@@ -106,6 +117,7 @@ def generate_downloader_sessions(
         download = max(rng.expovariate(1.0 / behavior.mean_download_minutes), 2.0)
         if rng.random() < behavior.abort_probability:
             # Leaves before completing, uniformly within the download.
+            generated.inc(kind="aborted")
             leave = join + download * rng.uniform(0.05, 0.95)
             sessions.append(
                 PeerSession(
@@ -120,10 +132,12 @@ def generate_downloader_sessions(
 
         complete = join + download
         if rng.random() < behavior.seed_probability:
+            generated.inc(kind="seeder")
             seed_for = rng.expovariate(1.0 / behavior.mean_seed_minutes)
             leave = complete + seed_for
         else:
             # Hit-and-run: leave almost immediately after completing.
+            generated.inc(kind="hit_and_run")
             leave = complete + rng.uniform(0.5, 5.0)
         sessions.append(
             PeerSession(

@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.observability import MetricsRegistry, get_default_registry
 from repro.swarm.peer import PeerSession
 
 
@@ -36,11 +37,24 @@ class SwarmSnapshot:
 class Swarm:
     """All peer sessions of one torrent, with incremental active-set tracking."""
 
-    def __init__(self, infohash: bytes, birth_time: float) -> None:
+    def __init__(
+        self,
+        infohash: bytes,
+        birth_time: float,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if len(infohash) != 20:
             raise ValueError(f"infohash must be 20 bytes, got {len(infohash)}")
         self.infohash = infohash
         self.birth_time = birth_time
+        registry = metrics if metrics is not None else get_default_registry()
+        # Aggregated across all swarms of the run: arrivals/departures/seeder
+        # flips as the tracker's monotonic queries sweep each timeline.
+        self._m_arrivals = registry.counter("swarm.arrivals")
+        self._m_departures = registry.counter("swarm.departures")
+        self._m_completions = registry.counter("swarm.completions")
+        self._m_queries = registry.counter("swarm.queries")
+        self._m_active = registry.histogram("swarm.active_peers")
         self._sessions: List[PeerSession] = []
         self._frozen = False
         # Incremental state (valid once frozen).
@@ -108,6 +122,7 @@ class Swarm:
                 continue  # joined and left between queries; never visible
             session._active_index = len(self._active)
             self._active.append(session)
+            self._m_arrivals.inc()
             if session.complete_time is not None and session.complete_time <= t:
                 session._seeding_now = True
                 self._num_seeders += 1
@@ -121,6 +136,7 @@ class Swarm:
             self._complete_cursor += 1
             if not session.is_publisher:
                 self.completions_so_far += 1
+                self._m_completions.inc()
             if session._active_index >= 0 and not session._seeding_now:
                 session._seeding_now = True
                 self._num_seeders += 1
@@ -140,6 +156,7 @@ class Swarm:
             last._active_index = index
             self._active.pop()
             session._active_index = -1
+            self._m_departures.inc()
             if session._seeding_now:
                 session._seeding_now = False
                 self._num_seeders -= 1
@@ -156,6 +173,8 @@ class Swarm:
         if max_peers < 0:
             raise ValueError(f"max_peers must be >= 0, got {max_peers}")
         self._advance(t)
+        self._m_queries.inc()
+        self._m_active.observe(len(self._active))
         active = self._active
         if len(active) <= max_peers:
             sample = list(active)

@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
+from repro.observability import MetricsRegistry, get_default_registry
 from repro.swarm import Swarm
 from repro.tracker.protocol import (
     AnnounceRequest,
@@ -61,6 +62,7 @@ class Tracker:
         url: str,
         rng: random.Random,
         config: Optional[TrackerConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.url = url
         self.config = config if config is not None else TrackerConfig()
@@ -71,6 +73,18 @@ class Tracker:
         self._blacklist: Set[int] = set()
         self.announces_served = 0
         self.announces_rejected = 0
+        self.metrics = metrics if metrics is not None else get_default_registry()
+        self._m_announces = self.metrics.counter("tracker.announces")
+        self._m_scrapes = self.metrics.counter("tracker.scrapes")
+        self._m_swarms = self.metrics.gauge("tracker.swarms")
+        self._m_response_bytes = self.metrics.histogram("tracker.response_bytes")
+        self._m_blacklisted = self.metrics.counter("tracker.clients_blacklisted")
+
+    def _reject(self, reason: str, response: bytes) -> bytes:
+        self.announces_rejected += 1
+        self._m_announces.inc(result=reason)
+        self._m_response_bytes.observe(len(response))
+        return response
 
     # ------------------------------------------------------------------
     # Registration (world-facing)
@@ -79,6 +93,7 @@ class Tracker:
         if swarm.infohash in self._swarms:
             raise ValueError(f"swarm {swarm.infohash.hex()} already registered")
         self._swarms[swarm.infohash] = swarm
+        self._m_swarms.set(len(self._swarms))
 
     def has_swarm(self, infohash: bytes) -> bool:
         return infohash in self._swarms
@@ -102,18 +117,20 @@ class Tracker:
     def announce(self, request: AnnounceRequest, now: float) -> bytes:
         """Handle one announce; returns bencoded response bytes."""
         if request.client_ip in self._blacklist:
-            self.announces_rejected += 1
-            return encode_failure("client banned")
+            return self._reject("rejected_banned", encode_failure("client banned"))
         if (
             self.config.failure_probability > 0.0
             and self._rng.random() < self.config.failure_probability
         ):
-            self.announces_rejected += 1
-            return encode_failure("tracker overloaded, retry later")
+            return self._reject(
+                "rejected_overload",
+                encode_failure("tracker overloaded, retry later"),
+            )
         swarm = self._swarms.get(request.infohash)
         if swarm is None:
-            self.announces_rejected += 1
-            return encode_failure("unregistered torrent")
+            return self._reject(
+                "rejected_unknown", encode_failure("unregistered torrent")
+            )
 
         key = (request.client_ip, request.infohash)
         last = self._last_announce.get(key)
@@ -122,11 +139,15 @@ class Tracker:
             self._violations[request.client_ip] = (
                 self._violations.get(request.client_ip, 0) + 1
             )
-            self.announces_rejected += 1
             if self._violations[request.client_ip] >= self.config.blacklist_threshold:
                 self._blacklist.add(request.client_ip)
-                return encode_failure("client banned")
-            return encode_failure("announce too frequent")
+                self._m_blacklisted.inc()
+                return self._reject(
+                    "rejected_banned", encode_failure("client banned")
+                )
+            return self._reject(
+                "rejected_rate_limit", encode_failure("announce too frequent")
+            )
         self._last_announce[key] = now
 
         numwant = min(request.numwant, self.config.max_numwant)
@@ -141,15 +162,19 @@ class Tracker:
             self.config.max_interval,
         )
         self.announces_served += 1
-        return encode_announce_success(
+        self._m_announces.inc(result="served")
+        response = encode_announce_success(
             interval_seconds=int(round(interval_minutes * 60)),
             seeders=snapshot.num_seeders,
             leechers=snapshot.num_leechers,
             ips=[peer.ip for peer in snapshot.peers],
         )
+        self._m_response_bytes.observe(len(response))
+        return response
 
     def scrape(self, infohashes: Tuple[bytes, ...], now: float) -> bytes:
         """Handle a scrape for the given infohashes."""
+        self._m_scrapes.inc()
         files: Dict[bytes, Tuple[int, int, int]] = {}
         for infohash in infohashes:
             swarm = self._swarms.get(infohash)
@@ -161,4 +186,6 @@ class Tracker:
                 swarm.completions_so_far if self.config.completed_counts else 0,
                 snapshot.num_leechers,
             )
-        return encode_scrape_response(files)
+        response = encode_scrape_response(files)
+        self._m_response_bytes.observe(len(response))
+        return response

@@ -210,18 +210,24 @@ class UdpTrackerEndpoint:
         self._tracker = tracker
         self._rng = rng
         self._connections: Dict[int, float] = {}  # connection_id -> issue time
+        metrics = tracker.metrics
+        self._m_packets = metrics.counter("tracker.udp_packets")
+        self._m_errors = metrics.counter("tracker.udp_errors")
 
     def handle_packet(self, data: bytes, source_ip: int, now: float) -> bytes:
         """Dispatch one datagram; returns the response datagram."""
         if len(data) == 16:
+            self._m_packets.inc(kind="connect")
             transaction_id = decode_connect_request(data)
             connection_id = self._rng.getrandbits(63)
             self._connections[connection_id] = now
             return encode_connect_response(transaction_id, connection_id)
         if len(data) == 98:
+            self._m_packets.inc(kind="announce")
             request = decode_announce_request(data)
             issued = self._connections.get(request.connection_id)
             if issued is None or now - issued > CONNECTION_TTL_MINUTES:
+                self._m_errors.inc(reason="stale_connection")
                 return encode_error(request.transaction_id, "invalid connection id")
             raw = self._tracker.announce(
                 AnnounceRequest(
@@ -236,6 +242,7 @@ class UdpTrackerEndpoint:
 
                 response = http_decode(raw)
             except TrackerError as exc:
+                self._m_errors.inc(reason="tracker_failure")
                 return encode_error(request.transaction_id, str(exc))
             return encode_announce_response(
                 request.transaction_id,
@@ -244,4 +251,5 @@ class UdpTrackerEndpoint:
                 response.leechers,
                 response.peers,
             )
+        self._m_errors.inc(reason="malformed_packet")
         raise UdpProtocolError(f"unrecognised packet of {len(data)} bytes")

@@ -1,0 +1,123 @@
+"""Property-based round-trip tests for repro.bencode (stdlib random only).
+
+A seeded generator builds random nested int/bytes/list/dict values; for every
+one of them ``bdecode(bencode(x)) == x`` must hold and re-encoding must be
+byte-stable (canonical form).  A second battery checks that the decoder's
+strictness survives randomised adversarial inputs: non-canonical integers,
+unsorted/duplicate dictionary keys, trailing data.
+"""
+
+import random
+
+import pytest
+
+from repro.bencode import BencodeError, bdecode, bencode
+
+
+def random_value(rng: random.Random, depth: int = 0):
+    """A random encodable value whose decoded form equals itself.
+
+    Only bytes keys/values are generated (``bdecode`` always returns bytes),
+    so equality is exact without any normalisation step.
+    """
+    roll = rng.random()
+    if depth >= 4 or roll < 0.35:
+        return rng.randint(-(10**12), 10**12)
+    if roll < 0.65:
+        length = rng.randrange(0, 20)
+        return bytes(rng.randrange(256) for _ in range(length))
+    if roll < 0.85:
+        return [random_value(rng, depth + 1) for _ in range(rng.randrange(0, 5))]
+    keys = {
+        bytes(rng.randrange(256) for _ in range(rng.randrange(0, 10)))
+        for _ in range(rng.randrange(0, 5))
+    }
+    return {key: random_value(rng, depth + 1) for key in keys}
+
+
+class TestRoundTripProperty:
+    def test_random_nested_values_round_trip(self):
+        rng = random.Random(0xBEC0DE)
+        for _ in range(300):
+            value = random_value(rng)
+            encoded = bencode(value)
+            decoded = bdecode(encoded)
+            assert decoded == value
+            # Canonical form: re-encoding the decoded value is byte-stable.
+            assert bencode(decoded) == encoded
+
+    def test_deep_nesting_round_trips(self):
+        value = 0
+        for _ in range(50):
+            value = [value]
+        assert bdecode(bencode(value)) == value
+
+    def test_dict_key_order_is_canonicalised(self):
+        rng = random.Random(1234)
+        for _ in range(50):
+            keys = [b"%06d" % rng.randrange(10**6) for _ in range(6)]
+            unique = list(dict.fromkeys(keys))
+            shuffled = list(unique)
+            rng.shuffle(shuffled)
+            forward = bencode({key: 1 for key in unique})
+            scrambled = bencode({key: 1 for key in shuffled})
+            assert forward == scrambled  # same canonical bytes either way
+
+
+class TestStrictnessProperty:
+    def test_negative_zero_rejected(self):
+        with pytest.raises(BencodeError, match="negative zero"):
+            bdecode(b"i-0e")
+
+    def test_leading_zero_integers_rejected(self):
+        rng = random.Random(99)
+        for _ in range(50):
+            n = rng.randrange(0, 10**6)
+            zeros = "0" * rng.randrange(1, 4)
+            sign = rng.choice(["", "-"])
+            payload = f"i{sign}{zeros}{n}e".encode()
+            if int(payload[1:-1]) == 0 and sign == "" and zeros + str(n) == "0":
+                continue  # plain i0e is canonical
+            with pytest.raises(BencodeError):
+                bdecode(payload)
+
+    def test_unsorted_dict_keys_rejected(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            keys = sorted(
+                {b"%05d" % rng.randrange(10**5) for _ in range(4)}
+            )
+            if len(keys) < 2:
+                continue
+            # Hand-assemble a dictionary with two keys swapped out of order.
+            swapped = list(keys)
+            swapped[0], swapped[-1] = swapped[-1], swapped[0]
+            body = b"".join(
+                b"%d:%s" % (len(key), key) + b"i1e" for key in swapped
+            )
+            with pytest.raises(BencodeError, match="sorted"):
+                bdecode(b"d" + body + b"e")
+
+    def test_duplicate_dict_keys_rejected(self):
+        with pytest.raises(BencodeError, match="sorted"):
+            bdecode(b"d1:a" + b"i1e" + b"1:a" + b"i2e" + b"e")
+
+    def test_trailing_data_rejected(self):
+        rng = random.Random(13)
+        for _ in range(50):
+            value = random_value(rng)
+            encoded = bencode(value)
+            junk = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 4)))
+            with pytest.raises(BencodeError):
+                bdecode(encoded + junk)
+
+    def test_truncation_rejected(self):
+        rng = random.Random(21)
+        for _ in range(50):
+            value = random_value(rng)
+            encoded = bencode(value)
+            if len(encoded) < 2:
+                continue
+            cut = rng.randrange(1, len(encoded))
+            with pytest.raises(BencodeError):
+                bdecode(encoded[:cut])

@@ -61,3 +61,37 @@ class TestCommands:
         assert "Figure 4 analogue" in out
         assert "Section 5.1 analogue" in out
         assert "business model" in out
+
+
+class TestMetricsCommand:
+    def test_parser_accepts_metrics_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["metrics", "tiny", "--sim-only", "--trace", "5", "--output", "x.json"]
+        )
+        assert args.command == "metrics"
+        assert args.sim_only is True
+        assert args.trace == 5
+
+    def test_metrics_command_emits_snapshot(self, capsys, tmp_path):
+        import json
+
+        out_path = str(tmp_path / "metrics.json")
+        assert main(["metrics", "tiny", "--seed", "5", "--sim-only",
+                     "--trace", "5", "--output", out_path]) == 0
+        assert "metrics written" in capsys.readouterr().out
+        with open(out_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+
+        names = [name for name in payload if not name.startswith("_")]
+        # The acceptance bar: >= 10 distinct instruments spanning the
+        # engine, crawler, tracker and swarm layers.
+        assert len(names) >= 10
+        subsystems = {name.split(".")[0] for name in names}
+        assert {"engine", "crawler", "tracker", "swarm", "portal"} <= subsystems
+        # --sim-only: no wall-clock instruments in the snapshot.
+        assert not any(
+            entry.get("wall") for name, entry in payload.items()
+            if not name.startswith("_")
+        )
+        assert len(payload["_trace"]["events"]) <= 5

@@ -3,6 +3,7 @@
 import dataclasses
 
 from repro.core.collector import run_measurement
+from repro.observability import MetricsRegistry
 from repro.simulation import tiny_scenario
 
 
@@ -45,3 +46,48 @@ class TestDeterminism:
         first = run_measurement(_config(), seed=123)
         other = run_measurement(_config(), seed=124)
         assert _fingerprint(first) != _fingerprint(other)
+
+
+class TestMetricsDeterminism:
+    """The observability layer must not inject nondeterminism.
+
+    Two same-seed runs of the quickstart (tiny) scenario must agree on the
+    dataset summary AND serialise byte-identical sim-clock metric snapshots;
+    only wall-clock timers may differ between the runs.
+    """
+
+    def test_same_seed_same_summary_and_metrics(self):
+        first_registry = MetricsRegistry()
+        second_registry = MetricsRegistry()
+        first = run_measurement(_config(), seed=31, metrics=first_registry)
+        second = run_measurement(_config(), seed=31, metrics=second_registry)
+
+        # Dataset summaries agree...
+        summary = lambda d: (
+            d.num_torrents,
+            d.num_with_username,
+            d.num_with_publisher_ip,
+            d.total_distinct_ips(),
+        )
+        assert summary(first) == summary(second)
+        assert _fingerprint(first) == _fingerprint(second)
+
+        # ...and the sim-clock snapshots are byte-identical.
+        assert first_registry.to_json(include_wall=False) == \
+            second_registry.to_json(include_wall=False)
+
+    def test_snapshot_spans_the_whole_pipeline(self):
+        registry = MetricsRegistry()
+        run_measurement(_config(), seed=31, metrics=registry)
+        names = registry.instrument_names(include_wall=False)
+        assert len(names) >= 10
+        subsystems = {name.split(".")[0] for name in names}
+        assert {"engine", "crawler", "tracker", "swarm", "portal"} <= subsystems
+
+    def test_wall_metrics_exist_but_stay_out_of_sim_snapshot(self):
+        registry = MetricsRegistry()
+        run_measurement(_config(), seed=31, metrics=registry)
+        all_names = set(registry.instrument_names(include_wall=True))
+        sim_names = set(registry.instrument_names(include_wall=False))
+        assert "engine.callback_wall_ms" in all_names - sim_names
+        assert "campaign.crawl_wall_ms" in all_names - sim_names

@@ -104,3 +104,70 @@ class TestScheduler:
         assert scheduler.peek_time() is None
         scheduler.schedule(3.0, lambda: None)
         assert scheduler.peek_time() == 3.0
+
+
+class TestNonFiniteTimes:
+    """NaN compares false against everything, so without an explicit guard
+    ``schedule(float('nan'))`` slips past the past-time check and corrupts
+    the heap's ordering invariant.  Non-finite times must be rejected."""
+
+    def test_nan_rejected(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError, match="non-finite"):
+            scheduler.schedule(float("nan"), lambda: None)
+
+    def test_inf_rejected(self):
+        scheduler = EventScheduler()
+        for bad in (float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="non-finite"):
+                scheduler.schedule(bad, lambda: None)
+
+    def test_nan_delay_rejected(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError, match="finite"):
+            scheduler.schedule_after(float("nan"), lambda: None)
+        with pytest.raises(ValueError, match="finite"):
+            scheduler.schedule_after(float("inf"), lambda: None)
+
+    def test_heap_stays_ordered_after_rejection(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(2.0, order.append, "b")
+        with pytest.raises(ValueError):
+            scheduler.schedule(float("nan"), order.append, "poison")
+        scheduler.schedule(1.0, order.append, "a")
+        scheduler.run_until(10.0)
+        assert order == ["a", "b"]
+
+
+class TestSchedulerMetrics:
+    def test_events_and_heap_depth_instrumented(self):
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry()
+        scheduler = EventScheduler(metrics=registry)
+        for i in range(4):
+            scheduler.schedule(float(i), lambda: None)
+        scheduler.run_until(10.0)
+        assert registry.counter("engine.events_run").value() == 4
+        assert registry.histogram("engine.heap_depth").count() == 4
+        # Depth was 4 when the first event popped, then 3, 2, 1.
+        assert registry.histogram("engine.heap_depth").summary()["max"] == 4
+        assert registry.gauge("engine.sim_time_minutes").value() == 10.0
+
+    def test_callback_wall_timing_labeled(self):
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry()
+        scheduler = EventScheduler(metrics=registry)
+
+        def named_callback():
+            pass
+
+        scheduler.schedule(1.0, named_callback)
+        scheduler.schedule(2.0, named_callback)
+        scheduler.run_until(5.0)
+        histogram = registry.histogram("engine.callback_wall_ms")
+        assert histogram.wall is True
+        label = "TestSchedulerMetrics.test_callback_wall_timing_labeled.<locals>.named_callback"
+        assert histogram.count(callback=label) == 2
