@@ -25,10 +25,12 @@ from repro.observability import MetricsRegistry, get_default_registry
 from repro.simulation import (
     ScenarioConfig,
     World,
+    hybrid_scenario,
     mn08_scenario,
     pb09_scenario,
     pb10_scenario,
     tiny_scenario,
+    trackerless_scenario,
 )
 
 __version__ = "1.0.0"
@@ -45,9 +47,11 @@ __all__ = [
     "identify_groups",
     "ScenarioConfig",
     "World",
+    "hybrid_scenario",
     "mn08_scenario",
     "pb09_scenario",
     "pb10_scenario",
     "tiny_scenario",
+    "trackerless_scenario",
     "__version__",
 ]

@@ -269,8 +269,10 @@ def _assign_network(
                 (isp,),
                 _mint_many(plan, rng, isp, count, True),
             )
+        # Dedupe in draw order: a set literal here would make the tuple's
+        # order (and thus the address-minting order) hash-seed-dependent.
         isps = tuple(
-            {_weighted(rng, _COMMERCIAL_WEIGHTS) for _ in range(2)}
+            dict.fromkeys(_weighted(rng, _COMMERCIAL_WEIGHTS) for _ in range(2))
         )
         ips = tuple(
             ip for isp in isps for ip in _mint_many(plan, rng, isp, 1, True)
@@ -293,7 +295,9 @@ def _assign_network(
     if split < 0.75:
         num_isps = rng.randrange(2, 4)
         isps = tuple(
-            {_weighted(rng, _NAMED_COMMERCIAL_WEIGHTS) for _ in range(num_isps)}
+            dict.fromkeys(
+                _weighted(rng, _NAMED_COMMERCIAL_WEIGHTS) for _ in range(num_isps)
+            )
         )
         per = max(1, round(7.7 / max(1, len(isps))))
         ips = tuple(

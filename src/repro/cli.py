@@ -28,6 +28,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import List, Optional
@@ -39,11 +40,14 @@ from repro.core.monitor import ContentPublishingMonitor
 from repro.core.sessions import offline_threshold, required_queries
 from repro.observability import MetricsRegistry
 from repro.simulation import (
+    DISCOVERY_MODES,
     World,
+    hybrid_scenario,
     mn08_scenario,
     pb09_scenario,
     pb10_scenario,
     tiny_scenario,
+    trackerless_scenario,
 )
 from repro.simulation.engine import EventScheduler
 from repro.stats.tables import format_number, format_table
@@ -52,25 +56,68 @@ _SCENARIOS = {
     "pb10": pb10_scenario,
     "pb09": pb09_scenario,
     "mn08": mn08_scenario,
+    "trackerless": trackerless_scenario,
+    "hybrid": hybrid_scenario,
 }
+
+
+def _scenario_name(value: str) -> str:
+    """Argparse type for scenario names: exits 2 with the valid list."""
+    valid = sorted(_SCENARIOS) + ["tiny"]
+    if value not in valid:
+        raise argparse.ArgumentTypeError(
+            f"unknown scenario {value!r}; valid scenarios: {', '.join(valid)}"
+        )
+    return value
+
+
+def _seed_value(value: str) -> int:
+    """Argparse type for --seed: a non-negative integer."""
+    try:
+        seed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"seed must be an integer, got {value!r}")
+    if seed < 0:
+        raise argparse.ArgumentTypeError(f"seed must be >= 0, got {seed}")
+    return seed
 
 
 def _scenario_from_args(args: argparse.Namespace):
     if args.scenario == "tiny":
-        return tiny_scenario()
-    return _SCENARIOS[args.scenario](scale=args.scale, popularity_scale=args.pop)
+        config = tiny_scenario()
+    else:
+        config = _SCENARIOS[args.scenario](
+            scale=args.scale, popularity_scale=args.pop
+        )
+    discovery = getattr(args, "discovery", None)
+    if discovery is not None and discovery != config.discovery:
+        # Moving *to* a tracker-involving mode needs the tracker back on;
+        # moving to dht-only works for any scenario.
+        config = dataclasses.replace(
+            config,
+            discovery=discovery,
+            tracker_enabled=config.tracker_enabled or discovery != "dht",
+            magnet_only=config.magnet_only and discovery != "tracker",
+        )
+    return config
 
 
 def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "scenario", choices=sorted(_SCENARIOS) + ["tiny"],
+        "scenario", type=_scenario_name,
+        metavar="{" + ",".join(sorted(_SCENARIOS) + ["tiny"]) + "}",
         help="which dataset analogue to build",
     )
     parser.add_argument("--scale", type=float, default=1.0,
                         help="publisher population scale (default 1.0)")
     parser.add_argument("--pop", type=float, default=1.0,
                         help="per-torrent popularity scale (default 1.0)")
-    parser.add_argument("--seed", type=int, default=2010)
+    parser.add_argument("--seed", type=_seed_value, default=2010)
+    parser.add_argument(
+        "--discovery", choices=DISCOVERY_MODES, default=None,
+        help="peer-discovery channel override: tracker announces, iterative "
+        "DHT lookups, or both (default: the scenario's own setting)",
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:

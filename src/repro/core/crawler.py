@@ -23,10 +23,12 @@ used by the Appendix A estimator.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Dict, Optional, Set
 
 from repro.core.datasets import Dataset, IdentificationOutcome, TorrentRecord
+from repro.core.dht_crawler import DhtCrawler
 from repro.core.identification import identify_publisher
 from repro.observability import MetricsRegistry, get_default_registry
 from repro.peerwire import BitfieldProber
@@ -34,7 +36,8 @@ from repro.portal.rss import RssEntry
 from repro.simulation.engine import EventScheduler
 from repro.simulation.scenarios import CrawlerSettings, ScenarioConfig
 from repro.simulation.world import World
-from repro.torrent import parse_torrent
+from repro.torrent import MagnetError, parse_magnet, parse_torrent
+from repro.torrent.metainfo import DEFAULT_PIECE_LENGTH
 from repro.tracker import AnnounceRequest, TrackerError, decode_announce_response
 from repro.websites import default_monitor_panel
 
@@ -73,6 +76,8 @@ class Crawler:
             "announce_failures": 0,
             "probes": 0,
             "torrents_discovered": 0,
+            "dht_lookups": 0,
+            "magnet_resolutions": 0,
         }
         if metrics is not None:
             self.metrics = metrics
@@ -89,6 +94,19 @@ class Crawler:
         self._m_watchlist = registry.gauge("crawler.watchlist_size")
         self._m_lag = registry.histogram("crawler.discovery_lag_minutes")
         self._m_probes = registry.gauge("crawler.probes")
+        # Discovery channels (ISSUE 2).  The tracker is used unless the
+        # scenario disables it; the DHT client exists only when the world
+        # built an overlay.
+        config = world.config
+        self._use_tracker = config.uses_tracker
+        self._use_dht = config.uses_dht and world.dht is not None
+        self.dht_crawler: Optional[DhtCrawler] = None
+        if self._use_dht:
+            self.dht_crawler = DhtCrawler(
+                world.dht,
+                random.Random(rng.getrandbits(64)),
+                metrics=self.metrics,
+            )
 
     # ------------------------------------------------------------------
     # Campaign control
@@ -130,36 +148,77 @@ class Crawler:
             now, "crawler.discover", torrent_id=entry.torrent_id
         )
 
-        torrent_bytes = self.world.portal.get_torrent_file(entry.torrent_id, now)
-        if torrent_bytes is None:
+        if not self._acquire_metadata(record, entry, now):
             record.identification = IdentificationOutcome.TORRENT_GONE
             self._m_identification.inc(outcome=IdentificationOutcome.TORRENT_GONE.name)
             record.done = True
             return
-        meta = parse_torrent(torrent_bytes)
-        record.infohash = meta.infohash
-        record.bundled_files = tuple(
-            f.path for f in meta.files if f.path != meta.name
-        )
-        self._probers[entry.torrent_id] = BitfieldProber(
-            self.world.swarm_for(entry.torrent_id),
-            meta.num_pieces,
-            _CRAWLER_PEER_ID,
-        )
 
-        # Immediate first contact from vantage 0.
-        response = self._announce(record, vantage=0, now=now)
-        if response is not None:
+        # Immediate first contact: tracker announce (vantage 0) and/or an
+        # iterative DHT lookup, depending on the scenario's channels.
+        response = None
+        if self._use_tracker:
+            response = self._announce(record, vantage=0, now=now)
+        dht_result = None
+        if self._use_dht:
+            dht_result = self._dht_lookup(record, now)
+        observation = response if response is not None else dht_result
+        if observation is not None:
             record.first_contact_time = now
-            record.first_seeders = response.seeders
-            record.first_leechers = response.leechers
-            self._attempt_identification(record, response, now)
+            record.first_seeders = observation.seeders
+            record.first_leechers = observation.leechers
+            self._attempt_identification(record, observation, now)
 
         if self.settings.monitor_swarms:
-            self._schedule_vantage_polls(record, now, response)
+            if self._use_tracker:
+                self._schedule_vantage_polls(record, now, response)
+            if self._use_dht:
+                at = now + self.settings.dht_poll_interval
+                if at <= self._hard_stop:
+                    self.scheduler.schedule(
+                        at, self._dht_monitor_poll, record.torrent_id
+                    )
         else:
             record.done = True
             record.monitoring_ended = now
+
+    def _acquire_metadata(
+        self, record: TorrentRecord, entry: RssEntry, now: float
+    ) -> bool:
+        """Learn the infohash and piece count: .torrent first, magnet second.
+
+        The magnet path models a BEP 9 metadata fetch: the infohash comes
+        from the link; the piece count is derived from the advertised
+        content size exactly as ``build_torrent`` derives it, so bitfield
+        probing works identically on magnet-only publications.
+        """
+        torrent_bytes = self.world.portal.get_torrent_file(record.torrent_id, now)
+        if torrent_bytes is not None:
+            meta = parse_torrent(torrent_bytes)
+            record.infohash = meta.infohash
+            record.bundled_files = tuple(
+                f.path for f in meta.files if f.path != meta.name
+            )
+            num_pieces = meta.num_pieces
+        else:
+            magnet_uri = self.world.portal.get_magnet(record.torrent_id, now)
+            if magnet_uri is None:
+                return False
+            try:
+                record.infohash = parse_magnet(magnet_uri).infohash
+            except MagnetError:
+                return False
+            record.via_magnet = True
+            num_pieces = max(
+                1, math.ceil(record.size_bytes / DEFAULT_PIECE_LENGTH)
+            )
+            self.stats["magnet_resolutions"] += 1
+        self._probers[record.torrent_id] = BitfieldProber(
+            self.world.swarm_for(record.torrent_id),
+            num_pieces,
+            _CRAWLER_PEER_ID,
+        )
+        return True
 
     # ------------------------------------------------------------------
     # Tracker interaction
@@ -182,16 +241,62 @@ class Crawler:
         self._process_response(record, response, now)
         return response
 
-    def _process_response(self, record: TorrentRecord, response, now: float) -> None:
+    def _process_response(
+        self, record: TorrentRecord, response, now: float, channel: str = "tracker"
+    ) -> None:
         record.query_times.append(now)
         record.seeder_counts.append(response.seeders)
         record.leecher_counts.append(response.leechers)
         record.max_population = max(record.max_population, response.total_peers)
+        channel_ips = record.tracker_ips if channel == "tracker" else record.dht_ips
         for ip in response.peer_ips:
+            channel_ips.add(ip)
             if ip in self.watchlist:
                 record.record_sighting(ip, now)
             if ip != record.publisher_ip:
                 record.downloader_ips.add(ip)
+
+    # ------------------------------------------------------------------
+    # DHT interaction
+    # ------------------------------------------------------------------
+    def _dht_lookup(self, record: TorrentRecord, now: float):
+        assert self.dht_crawler is not None
+        result = self.dht_crawler.lookup(record.infohash, now)
+        self.stats["dht_lookups"] += 1
+        self._process_response(record, result, now, channel="dht")
+        return result
+
+    def _dht_monitor_poll(self, torrent_id: int) -> None:
+        record = self.records[torrent_id]
+        if record.done:
+            return
+        now = self.scheduler.clock.now
+        result = self._dht_lookup(record, now)
+        if not self._use_tracker and self._identification_pending(record, now):
+            self._attempt_identification(record, result, now)
+        if not self._use_tracker:
+            # The DHT is the primary channel: it drives the stop rule, just
+            # as consecutive empty tracker replies do on the tracker path.
+            if result.total_peers == 0:
+                record.empty_streak += 1
+            else:
+                record.empty_streak = 0
+            if record.empty_streak >= self.settings.empty_replies_to_stop:
+                record.done = True
+                record.monitoring_ended = now
+                self._m_monitor_stops.inc(reason="empty_replies")
+                self.metrics.trace.record(
+                    now, "crawler.monitor_stop", torrent_id=torrent_id,
+                    reason="empty_replies",
+                )
+                return
+        at = now + self.settings.dht_poll_interval
+        if at <= self._hard_stop:
+            self.scheduler.schedule(at, self._dht_monitor_poll, torrent_id)
+        elif not self._use_tracker:
+            record.done = True
+            record.monitoring_ended = self._hard_stop
+            self._m_monitor_stops.inc(reason="horizon")
 
     # ------------------------------------------------------------------
     # Identification

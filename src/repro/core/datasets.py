@@ -63,6 +63,13 @@ class TorrentRecord:
     seeder_counts: List[int] = field(default_factory=list)
     leecher_counts: List[int] = field(default_factory=list)
     downloader_ips: Set[int] = field(default_factory=set)
+    # Per-discovery-channel views of the same swarm (ISSUE 2): every peer IP
+    # ever returned by a tracker announce vs. by a DHT get_peers lookup.
+    # Unlike downloader_ips these include the publisher once identified.
+    tracker_ips: Set[int] = field(default_factory=set)
+    dht_ips: Set[int] = field(default_factory=set)
+    # True when metadata came from a magnet link (no .torrent download).
+    via_magnet: bool = False
     watched_sightings: Dict[int, List[float]] = field(default_factory=dict)
     max_population: int = 0
     monitoring_ended: Optional[float] = None

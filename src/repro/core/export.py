@@ -51,7 +51,10 @@ CREATE TABLE torrents (
     seeder_counts    TEXT NOT NULL,
     leecher_counts   TEXT NOT NULL,
     downloader_ips   TEXT NOT NULL,
-    sightings        TEXT NOT NULL
+    sightings        TEXT NOT NULL,
+    tracker_ips      TEXT NOT NULL DEFAULT '[]',
+    dht_ips          TEXT NOT NULL DEFAULT '[]',
+    via_magnet       INTEGER NOT NULL DEFAULT 0
 );
 
 CREATE TABLE geoip (
@@ -134,13 +137,16 @@ def save_dataset(dataset: Dataset, path: str) -> None:
                     json.dumps(
                         {str(ip): times for ip, times in record.watched_sightings.items()}
                     ),
+                    json.dumps(sorted(record.tracker_ips)),
+                    json.dumps(sorted(record.dht_ips)),
+                    int(record.via_magnet),
                 )
             )
             if record.publisher_ip is not None:
                 geo_ips.add(record.publisher_ip)
         conn.executemany(
             "INSERT INTO torrents VALUES "
-            "(?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+            "(?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
             rows,
         )
         geo_rows = []
@@ -178,7 +184,8 @@ def load_dataset(
                 username, discovered_time, bundled, first_contact, first_seeders,
                 first_leechers, identification, publisher_ip, identified_time,
                 max_population, monitoring_ended, query_times, seeder_counts,
-                leecher_counts, downloader_ips, sightings,
+                leecher_counts, downloader_ips, sightings, tracker_ips, dht_ips,
+                via_magnet,
             ) = row
             record = TorrentRecord(
                 torrent_id=torrent_id,
@@ -202,6 +209,9 @@ def load_dataset(
                 seeder_counts=json.loads(seeder_counts),
                 leecher_counts=json.loads(leecher_counts),
                 downloader_ips=set(json.loads(downloader_ips)),
+                tracker_ips=set(json.loads(tracker_ips)),
+                dht_ips=set(json.loads(dht_ips)),
+                via_magnet=bool(via_magnet),
                 watched_sightings={
                     int(ip): times
                     for ip, times in json.loads(sightings).items()

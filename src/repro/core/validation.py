@@ -94,6 +94,58 @@ def score_download_coverage(dataset: Dataset, world: World) -> CoverageScore:
 
 
 @dataclass(frozen=True)
+class DiscoveryChannelScore:
+    """Tracker-vs-DHT discovery coverage over the same world (ISSUE 2).
+
+    Coverage is the fraction of generated downloader sessions whose IP the
+    crawler observed *through that channel*.  On a hybrid scenario the two
+    coverages should agree closely -- both channels watch the same swarms --
+    which is the acceptance check for the DHT model's fidelity.
+    """
+
+    generated_downloads: int
+    tracker_observed: int
+    dht_observed: int
+
+    def _coverage(self, observed: int) -> float:
+        if not self.generated_downloads:
+            return 1.0
+        return min(1.0, observed / self.generated_downloads)
+
+    @property
+    def tracker_coverage(self) -> float:
+        return self._coverage(self.tracker_observed)
+
+    @property
+    def dht_coverage(self) -> float:
+        return self._coverage(self.dht_observed)
+
+    @property
+    def coverage_gap(self) -> float:
+        """|tracker - dht| coverage, in absolute (fraction) terms."""
+        return abs(self.tracker_coverage - self.dht_coverage)
+
+
+def score_discovery_channels(dataset: Dataset, world: World) -> DiscoveryChannelScore:
+    """Per-channel download coverage against generated ground truth."""
+    truth_by_id = {t.torrent_id: t for t in world.truth.torrents}
+    generated = tracker_observed = dht_observed = 0
+    for record in dataset.records.values():
+        truth = truth_by_id.get(record.torrent_id)
+        if truth is None:
+            continue
+        generated += truth.generated_downloads
+        publisher = {record.publisher_ip} if record.publisher_ip is not None else set()
+        tracker_observed += len(record.tracker_ips - publisher)
+        dht_observed += len(record.dht_ips - publisher)
+    return DiscoveryChannelScore(
+        generated_downloads=generated,
+        tracker_observed=tracker_observed,
+        dht_observed=dht_observed,
+    )
+
+
+@dataclass(frozen=True)
 class SessionErrorSample:
     """True vs estimated publisher presence for one torrent."""
 
@@ -161,6 +213,9 @@ class ValidationSummary:
     coverage: CoverageScore
     session_median_relative_error: Optional[float]
     session_samples: int
+    # Per-channel coverage; None on campaigns that never used the DHT
+    # (nothing to compare against).
+    discovery: Optional[DiscoveryChannelScore] = None
 
 
 def validate_campaign(
@@ -172,9 +227,13 @@ def validate_campaign(
     if samples:
         errors = sorted(s.relative_error for s in samples)
         median_error = errors[len(errors) // 2]
+    discovery: Optional[DiscoveryChannelScore] = None
+    if world.config.uses_dht:
+        discovery = score_discovery_channels(dataset, world)
     return ValidationSummary(
         identification=score_identification(dataset, world),
         coverage=score_download_coverage(dataset, world),
         session_median_relative_error=median_error,
         session_samples=len(samples),
+        discovery=discovery,
     )

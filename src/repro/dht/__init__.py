@@ -1,0 +1,89 @@
+"""Simulated Mainline DHT (BEP 5): KRPC codec, Kademlia routing, overlay.
+
+The study's crawler (CoNEXT 2010) discovered publishers via portal RSS and
+tracker announces.  This package models the trackerless path the paper's
+ecosystem was moving toward: a deterministic in-process DHT whose nodes
+speak real KRPC bytes, so magnet-only publications remain discoverable and
+tracker-vs-DHT coverage can be ablated under one seed.
+
+Layers, bottom-up:
+
+- :mod:`repro.dht.krpc` -- message codec on :mod:`repro.bencode`
+  (ping / find_node / get_peers / announce_peer, compact encodings).
+- :mod:`repro.dht.routing` -- 160-bit ids, XOR metric, k-bucket
+  :class:`RoutingTable` with staleness-gated eviction.
+- :mod:`repro.dht.node` -- :class:`DhtNode`: query handling, write tokens,
+  interval-based announce store with seeds/peers counts.
+- :mod:`repro.dht.network` -- :class:`DhtNetwork`: the seeded overlay and
+  its message fabric, built by ``simulation.world``.
+
+The iterative-lookup client lives with the measurement side, in
+:mod:`repro.core.dht_crawler`.
+"""
+
+from repro.dht.krpc import (
+    ERROR_GENERIC,
+    ERROR_PROTOCOL,
+    ERROR_SERVER,
+    ERROR_UNKNOWN_METHOD,
+    KNOWN_METHODS,
+    KrpcError,
+    KrpcErrorMessage,
+    KrpcQuery,
+    KrpcResponse,
+    decode_message,
+    encode_error,
+    encode_query,
+    encode_response,
+    pack_compact_nodes,
+    pack_compact_peer,
+    unpack_compact_nodes,
+    unpack_compact_peers,
+)
+from repro.dht.network import DhtConfig, DhtNetwork
+from repro.dht.node import DHT_PORT, DhtNode, StoredPeer
+from repro.dht.routing import (
+    NODE_ID_BITS,
+    NODE_ID_BYTES,
+    Contact,
+    RoutingTable,
+    bucket_index,
+    derive_node_id,
+    node_id_from_bytes,
+    node_id_to_bytes,
+    xor_distance,
+)
+
+__all__ = [
+    "ERROR_GENERIC",
+    "ERROR_PROTOCOL",
+    "ERROR_SERVER",
+    "ERROR_UNKNOWN_METHOD",
+    "KNOWN_METHODS",
+    "KrpcError",
+    "KrpcErrorMessage",
+    "KrpcQuery",
+    "KrpcResponse",
+    "decode_message",
+    "encode_error",
+    "encode_query",
+    "encode_response",
+    "pack_compact_nodes",
+    "pack_compact_peer",
+    "unpack_compact_nodes",
+    "unpack_compact_peers",
+    "DhtConfig",
+    "DhtNetwork",
+    "DHT_PORT",
+    "DhtNode",
+    "StoredPeer",
+    "NODE_ID_BITS",
+    "NODE_ID_BYTES",
+    "Contact",
+    "RoutingTable",
+    "bucket_index",
+    "derive_node_id",
+    "node_id_from_bytes",
+    "node_id_to_bytes",
+    "xor_distance",
+]

@@ -1,0 +1,246 @@
+"""One simulated Mainline DHT node: routing table, peer store, tokens.
+
+A node answers the four KRPC queries over real message bytes
+(:mod:`repro.dht.krpc`).  Its peer store holds *announce intervals* rather
+than point-in-time entries: a peer that joined a swarm at ``start`` and
+left at ``end`` is modelled as having announced at join and re-announced
+until departure, so its entry is visible to ``get_peers`` exactly while
+``start <= now < end``.  That makes a whole campaign's worth of announces
+storable up front (the world generator knows every session) while queries
+still see announces appear and expire with swarm churn.
+
+``announce_peer`` is token-gated as in BEP 5: a querier must echo the
+opaque token a previous ``get_peers`` handed it, and tokens are bound to
+the querier's IP.  Responses to ``get_peers`` carry a simplified BEP 33
+scrape -- integer ``seeds`` / ``peers`` counts of the currently active
+announces (real Mainline returns bloom filters; the counts preserve what
+the measurement pipeline consumes: a seeder/leecher split).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dht.krpc import (
+    ERROR_PROTOCOL,
+    ERROR_UNKNOWN_METHOD,
+    KrpcError,
+    KrpcQuery,
+    decode_message,
+    encode_error,
+    encode_response,
+    node_id_to_bytes_or_raise,
+    pack_compact_nodes,
+    pack_compact_peer,
+)
+from repro.dht.routing import (
+    Contact,
+    RoutingTable,
+    node_id_from_bytes,
+    node_id_to_bytes,
+)
+
+DHT_PORT = 6881
+
+
+@dataclass(frozen=True)
+class StoredPeer:
+    """One announce interval held by a node for one infohash."""
+
+    ip: int
+    port: int
+    start: float
+    end: float
+    # When the announcing peer became a seeder (None: never completed).
+    # Drives the simplified BEP 33 seeds/peers split.
+    seed_from: Optional[float] = None
+
+    def active_at(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def is_seed_at(self, now: float) -> bool:
+        return self.seed_from is not None and self.seed_from <= now
+
+
+class DhtNode:
+    """One DHT participant with its routing table and announce store."""
+
+    def __init__(
+        self,
+        node_id: int,
+        ip: int,
+        port: int = DHT_PORT,
+        k: int = 8,
+        stale_after: float = 60.0,
+        announce_ttl: float = 45.0,
+        max_values: int = 100,
+        token_secret: bytes = b"",
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if announce_ttl <= 0:
+            raise ValueError("announce_ttl must be > 0")
+        if max_values < 1:
+            raise ValueError("max_values must be >= 1")
+        self.node_id = node_id
+        self.ip = ip
+        self.port = port
+        self.announce_ttl = announce_ttl
+        self.max_values = max_values
+        self.table = RoutingTable(node_id, k=k, stale_after=stale_after)
+        self._token_secret = token_secret or node_id_to_bytes(node_id)[:8]
+        self._rng = rng if rng is not None else random.Random(node_id & 0xFFFFFFFF)
+        self._store: Dict[bytes, List[StoredPeer]] = {}
+
+    # ------------------------------------------------------------------
+    # Peer store
+    # ------------------------------------------------------------------
+    def store_announce(
+        self,
+        infohash: bytes,
+        ip: int,
+        port: int,
+        start: float,
+        end: float,
+        seed_from: Optional[float] = None,
+    ) -> None:
+        """Record one announce interval (the batch path the world uses)."""
+        if len(infohash) != 20:
+            raise ValueError("infohash must be 20 bytes")
+        if end <= start:
+            return  # zero-length session: never visible
+        self._store.setdefault(infohash, []).append(
+            StoredPeer(ip=ip, port=port, start=start, end=end, seed_from=seed_from)
+        )
+
+    def peers_for(self, infohash: bytes, now: float) -> List[StoredPeer]:
+        """All announces active at ``now`` (unsampled)."""
+        return [p for p in self._store.get(infohash, ()) if p.active_at(now)]
+
+    def stored_intervals(self, infohash: bytes) -> int:
+        return len(self._store.get(infohash, ()))
+
+    # ------------------------------------------------------------------
+    # Tokens
+    # ------------------------------------------------------------------
+    def token_for(self, ip: int) -> bytes:
+        """Opaque write-token bound to the querier's IP (BEP 5)."""
+        return hashlib.sha1(
+            self._token_secret + ip.to_bytes(4, "big")
+        ).digest()[:8]
+
+    # ------------------------------------------------------------------
+    # Query handling (wire bytes in, wire bytes out)
+    # ------------------------------------------------------------------
+    def handle_query(
+        self, raw: bytes, sender_ip: int, sender_port: int, now: float
+    ) -> bytes:
+        """Serve one KRPC query; always returns encodable response bytes."""
+        try:
+            message = decode_message(raw)
+        except KrpcError:
+            return encode_error(b"\x00", ERROR_PROTOCOL, "malformed message")
+        if not isinstance(message, KrpcQuery):
+            return encode_error(
+                message.tid, ERROR_PROTOCOL, "expected a query"
+            )
+        try:
+            sender_id = message.sender_id
+        except KrpcError:
+            return encode_error(message.tid, ERROR_PROTOCOL, "missing sender id")
+        self.table.observe(
+            Contact(
+                node_id=node_id_from_bytes(sender_id),
+                ip=sender_ip,
+                port=sender_port,
+            ),
+            now,
+        )
+        handler = {
+            "ping": self._handle_ping,
+            "find_node": self._handle_find_node,
+            "get_peers": self._handle_get_peers,
+            "announce_peer": self._handle_announce_peer,
+        }.get(message.method)
+        if handler is None:
+            return encode_error(
+                message.tid, ERROR_UNKNOWN_METHOD, f"unknown method {message.method}"
+            )
+        try:
+            return handler(message, sender_ip, sender_port, now)
+        except KrpcError as exc:
+            return encode_error(message.tid, ERROR_PROTOCOL, str(exc))
+
+    # -- individual methods --------------------------------------------
+    def _id_payload(self) -> Dict[str, object]:
+        return {"id": node_id_to_bytes(self.node_id)}
+
+    def _handle_ping(
+        self, query: KrpcQuery, sender_ip: int, sender_port: int, now: float
+    ) -> bytes:
+        return encode_response(query.tid, self._id_payload())
+
+    def _compact_closest(self, target: int) -> bytes:
+        return pack_compact_nodes(
+            [
+                (node_id_to_bytes(c.node_id), c.ip, c.port)
+                for c in self.table.closest(target)
+            ]
+        )
+
+    def _handle_find_node(
+        self, query: KrpcQuery, sender_ip: int, sender_port: int, now: float
+    ) -> bytes:
+        target = query.args.get(b"target")
+        target_id = node_id_from_bytes(node_id_to_bytes_or_raise(target, "target"))
+        payload = self._id_payload()
+        payload["nodes"] = self._compact_closest(target_id)
+        return encode_response(query.tid, payload)
+
+    def _handle_get_peers(
+        self, query: KrpcQuery, sender_ip: int, sender_port: int, now: float
+    ) -> bytes:
+        infohash = query.args.get(b"info_hash")
+        infohash = node_id_to_bytes_or_raise(infohash, "info_hash")
+        payload = self._id_payload()
+        payload["token"] = self.token_for(sender_ip)
+        # Closer nodes ride along even when values exist, as most live
+        # implementations do -- it keeps iterative lookups converging.
+        payload["nodes"] = self._compact_closest(node_id_from_bytes(infohash))
+        active = self.peers_for(infohash, now)
+        if active:
+            seeds = sum(1 for p in active if p.is_seed_at(now))
+            if len(active) > self.max_values:
+                sample = self._rng.sample(active, self.max_values)
+            else:
+                sample = active
+            payload["values"] = [
+                pack_compact_peer(p.ip, p.port) for p in sample
+            ]
+            payload["seeds"] = seeds
+            payload["peers"] = len(active) - seeds
+        return encode_response(query.tid, payload)
+
+    def _handle_announce_peer(
+        self, query: KrpcQuery, sender_ip: int, sender_port: int, now: float
+    ) -> bytes:
+        infohash = query.args.get(b"info_hash")
+        infohash = node_id_to_bytes_or_raise(infohash, "info_hash")
+        token = query.args.get(b"token")
+        if token != self.token_for(sender_ip):
+            raise KrpcError("bad announce token")
+        port = query.args.get(b"port")
+        if not isinstance(port, int) or not 0 < port <= 0xFFFF:
+            raise KrpcError(f"bad announce port {port!r}")
+        seed = query.args.get(b"seed")
+        self.store_announce(
+            infohash,
+            ip=sender_ip,
+            port=port,
+            start=now,
+            end=now + self.announce_ttl,
+            seed_from=now if seed == 1 else None,
+        )
+        return encode_response(query.tid, self._id_payload())

@@ -55,6 +55,8 @@ class _Item:
     payload_kind: str
     bundled_file_names: Tuple[str, ...]
     removal_time: Optional[float] = None
+    magnet_uri: Optional[str] = None
+    magnet_only: bool = False  # no .torrent served; DHT is the only way in
 
 
 class Portal:
@@ -73,6 +75,7 @@ class Portal:
         self._m_removals = self.metrics.counter("portal.removals_scheduled")
         self._m_bans = self.metrics.counter("portal.account_bans")
         self._m_downloads = self.metrics.counter("portal.torrent_downloads")
+        self._m_magnets = self.metrics.counter("portal.magnet_fetches")
 
     # ------------------------------------------------------------------
     # Publishing (world-facing)
@@ -90,8 +93,12 @@ class Portal:
         payload_kind: str = "content",
         bundled_file_names: Tuple[str, ...] = (),
         account_created_time: Optional[float] = None,
+        magnet_uri: Optional[str] = None,
+        magnet_only: bool = False,
     ) -> int:
         """Index a new torrent; returns its portal id."""
+        if magnet_only and magnet_uri is None:
+            raise ValueError("a magnet-only publication needs a magnet_uri")
         account = self.accounts.get_or_create(
             username,
             created_time=time if account_created_time is None else account_created_time,
@@ -117,6 +124,8 @@ class Portal:
             is_fake=is_fake,
             payload_kind=payload_kind,
             bundled_file_names=bundled_file_names,
+            magnet_uri=magnet_uri,
+            magnet_only=magnet_only,
         )
         self.feed.publish(
             RssEntry(
@@ -126,6 +135,7 @@ class Portal:
                 category=category,
                 size_bytes=size_bytes,
                 username=username,
+                magnet_uri=magnet_uri,
             )
         )
         self._m_publishes.inc(kind=payload_kind)
@@ -160,13 +170,32 @@ class Portal:
         return item.removal_time is None or now < item.removal_time
 
     def get_torrent_file(self, torrent_id: int, now: float) -> Optional[bytes]:
-        """The .torrent bytes, or None once moderation removed the item."""
+        """The .torrent bytes, or None once moderation removed the item.
+
+        Magnet-only publications also return None (there is nothing to
+        download); :meth:`get_magnet` is the way in for those.
+        """
         item = self._require(torrent_id)
         if not self._visible(item, now):
             self._m_downloads.inc(result="gone")
             return None
+        if item.magnet_only:
+            self._m_downloads.inc(result="magnet_only")
+            return None
         self._m_downloads.inc(result="ok")
         return item.torrent_bytes
+
+    def get_magnet(self, torrent_id: int, now: float) -> Optional[str]:
+        """The item's magnet URI (None if removed or never published one)."""
+        item = self._require(torrent_id)
+        if not self._visible(item, now):
+            self._m_magnets.inc(result="gone")
+            return None
+        if item.magnet_uri is None:
+            self._m_magnets.inc(result="absent")
+            return None
+        self._m_magnets.inc(result="ok")
+        return item.magnet_uri
 
     def content_page(self, torrent_id: int, now: float) -> Optional[ContentPage]:
         item = self._require(torrent_id)

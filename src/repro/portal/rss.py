@@ -10,7 +10,7 @@ last poll" is a binary search.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
 from repro.portal.categories import Category
@@ -26,6 +26,9 @@ class RssEntry:
     category: Category
     size_bytes: int
     username: Optional[str]  # None when the portal's feed omits it
+    # Trackerless portals put a magnet URI in the feed instead of (or next
+    # to) a .torrent download link; None on .torrent-only portals.
+    magnet_uri: Optional[str] = None
 
 
 class RssFeed:
@@ -52,14 +55,7 @@ class RssFeed:
                 f"({self._times[-1]} then {entry.published_time})"
             )
         if not self.include_username and entry.username is not None:
-            entry = RssEntry(
-                published_time=entry.published_time,
-                torrent_id=entry.torrent_id,
-                title=entry.title,
-                category=entry.category,
-                size_bytes=entry.size_bytes,
-                username=None,
-            )
+            entry = replace(entry, username=None)
         self._entries.append(entry)
         self._times.append(entry.published_time)
 

@@ -10,12 +10,15 @@ from repro.simulation.clock import DAY, HOUR, MINUTE, WEEK, Clock
 from repro.simulation.engine import EventScheduler
 from repro.simulation.world import World
 from repro.simulation.scenarios import (
+    DISCOVERY_MODES,
     CrawlerSettings,
     ScenarioConfig,
+    hybrid_scenario,
     mn08_scenario,
     pb09_scenario,
     pb10_scenario,
     tiny_scenario,
+    trackerless_scenario,
 )
 
 __all__ = [
@@ -27,9 +30,12 @@ __all__ = [
     "EventScheduler",
     "World",
     "CrawlerSettings",
+    "DISCOVERY_MODES",
     "ScenarioConfig",
+    "hybrid_scenario",
     "mn08_scenario",
     "pb09_scenario",
     "pb10_scenario",
     "tiny_scenario",
+    "trackerless_scenario",
 ]

@@ -22,8 +22,12 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.agents.population import PopulationConfig
+from repro.dht.network import DhtConfig
 from repro.observability import MetricsRegistry
 from repro.tracker import TrackerConfig
+
+# Discovery channels a campaign can use to find peers (ISSUE 2).
+DISCOVERY_MODES = ("tracker", "dht", "hybrid")
 
 
 @dataclass(frozen=True)
@@ -37,6 +41,10 @@ class CrawlerSettings:
     max_probe_peers: int = 20  # bitfield-probe only when swarm smaller
     monitor_swarms: bool = True  # False reproduces pb09's single query
     identification_retry_minutes: float = 90.0
+    # Minutes between iterative DHT lookups while monitoring a swarm over
+    # the DHT channel (lookups are costlier than tracker announces, so the
+    # cadence is slower than the tracker interval).
+    dht_poll_interval: float = 15.0
 
     def __post_init__(self) -> None:
         if self.rss_poll_interval <= 0:
@@ -47,6 +55,8 @@ class CrawlerSettings:
             raise ValueError("numwant must be >= 1")
         if self.empty_replies_to_stop < 1:
             raise ValueError("empty_replies_to_stop must be >= 1")
+        if self.dht_poll_interval <= 0:
+            raise ValueError("dht_poll_interval must be > 0")
 
 
 @dataclass(frozen=True)
@@ -68,6 +78,16 @@ class ScenarioConfig:
     fake_detection_mean_days: float = 1.5  # portal moderation latency
     # Mean download rate for peers, KB/s (2010-era home downlink).
     peer_download_rate_kbs: float = 150.0
+    # Peer-discovery channel (ISSUE 2): "tracker" is the paper's setup,
+    # "dht" models a trackerless ecosystem, "hybrid" runs both.
+    discovery: str = "tracker"
+    # Portal serves magnet links only (no .torrent download) -- the
+    # trackerless-portal quirk; requires a DHT discovery channel.
+    magnet_only: bool = False
+    # False removes the tracker from the world (swarms never register), the
+    # "tracker down" degradation scenario.
+    tracker_enabled: bool = True
+    dht: DhtConfig = field(default_factory=DhtConfig)
     # Observability: campaigns built from this config send their telemetry
     # here.  None means "whatever the entry point injects" (run_measurement
     # creates a fresh registry per run; bare World.build falls back to the
@@ -88,6 +108,28 @@ class ScenarioConfig:
             raise ValueError("popularity_scale must be > 0")
         if self.fake_detection_mean_days <= 0:
             raise ValueError("fake_detection_mean_days must be > 0")
+        if self.discovery not in DISCOVERY_MODES:
+            raise ValueError(
+                f"discovery must be one of {DISCOVERY_MODES}, got {self.discovery!r}"
+            )
+        if self.magnet_only and self.discovery == "tracker":
+            raise ValueError(
+                "magnet_only portals need a DHT discovery channel "
+                "(discovery='dht' or 'hybrid')"
+            )
+        if not self.tracker_enabled and self.discovery != "dht":
+            raise ValueError(
+                "tracker_enabled=False requires discovery='dht' "
+                "(nothing else could find peers)"
+            )
+
+    @property
+    def uses_dht(self) -> bool:
+        return self.discovery in ("dht", "hybrid")
+
+    @property
+    def uses_tracker(self) -> bool:
+        return self.discovery in ("tracker", "hybrid") and self.tracker_enabled
 
     @property
     def window_minutes(self) -> float:
@@ -166,6 +208,82 @@ def tiny_scenario(seed_name: str = "tiny") -> ScenarioConfig:
             vantage_count=1,
         ),
         tracker=TrackerConfig(min_interval=20.0, max_interval=30.0),
+    )
+
+
+def _small_discovery_population(scale: float) -> PopulationConfig:
+    """The tiny-scenario species mix, scaled (the discovery scenarios stay
+    minutes-scale so the ablation benchmark can sweep all three modes)."""
+    return PopulationConfig(
+        num_regular=120,
+        num_bt_portal=2,
+        num_web_promoter=2,
+        num_altruistic_top=3,
+        num_fake_antipiracy=1,
+        num_fake_malware=1,
+    ).scaled(scale)
+
+
+def trackerless_scenario(
+    scale: float = 1.0, popularity_scale: float = 1.0
+) -> ScenarioConfig:
+    """A portal that publishes magnet links only; peers live in the DHT.
+
+    Models the ecosystem the paper anticipated: no tracker at all, so the
+    crawler's only way from an RSS entry to peers is an iterative
+    ``get_peers`` lookup.  Identification and analysis run unchanged on the
+    DHT-observed peers.
+    """
+    return ScenarioConfig(
+        name="trackerless",
+        portal_name="The Pirate Bay",
+        rss_includes_username=True,
+        window_days=6.0,
+        post_window_days=6.0,
+        population=_small_discovery_population(scale),
+        popularity_scale=0.15 * popularity_scale,
+        crawler=CrawlerSettings(
+            rss_poll_interval=10.0,
+            vantage_count=1,
+            # Half the tracker-channel cadence: iterative lookups cost tens
+            # of KRPC round trips each, and 30-minute sampling still sits
+            # well inside the Appendix A session-reconstruction threshold.
+            dht_poll_interval=30.0,
+        ),
+        tracker=TrackerConfig(min_interval=20.0, max_interval=30.0),
+        discovery="dht",
+        magnet_only=True,
+        tracker_enabled=False,
+    )
+
+
+def hybrid_scenario(
+    scale: float = 1.0, popularity_scale: float = 1.0
+) -> ScenarioConfig:
+    """Both channels live: .torrent + tracker and magnet + DHT.
+
+    The validation scenario for tracker-vs-DHT coverage parity: the same
+    world is observed through both channels under one seed.
+    """
+    return ScenarioConfig(
+        name="hybrid",
+        portal_name="The Pirate Bay",
+        rss_includes_username=True,
+        window_days=6.0,
+        post_window_days=6.0,
+        population=_small_discovery_population(scale),
+        popularity_scale=0.15 * popularity_scale,
+        crawler=CrawlerSettings(
+            rss_poll_interval=10.0,
+            vantage_count=1,
+            # Matched to the 20-30-minute tracker interval: a faster DHT
+            # cadence (or a longer announce TTL) over-observes the swarm
+            # relative to the tracker and opens a coverage gap.
+            dht_poll_interval=30.0,
+        ),
+        tracker=TrackerConfig(min_interval=20.0, max_interval=30.0),
+        discovery="hybrid",
+        dht=DhtConfig(announce_ttl_minutes=10.0),
     )
 
 

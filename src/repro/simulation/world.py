@@ -38,6 +38,7 @@ from repro.agents.population import (
     build_population,
 )
 from repro.agents.profiles import IpPolicy, PromoPlacement, PublisherClass
+from repro.dht import DhtNetwork
 from repro.geoip import AddressPlan, GeoIpDatabase, default_isp_profiles
 from repro.geoip.isps import IspKind
 from repro.observability import MetricsRegistry, get_default_registry
@@ -53,8 +54,8 @@ from repro.swarm import (
     Swarm,
     generate_downloader_sessions,
 )
-from repro.torrent import TorrentFile, build_torrent, parse_torrent
-from repro.tracker import Tracker
+from repro.torrent import TorrentFile, build_magnet, build_torrent, parse_torrent
+from repro.tracker import Tracker, peer_port_for_ip
 from repro.websites.model import WebDirectory
 
 ANNOUNCE_URL = "http://tracker.openbittorrent.sim/announce"
@@ -115,6 +116,7 @@ class World:
         portal: Portal,
         population: Population,
         metrics: Optional[MetricsRegistry] = None,
+        dht: Optional[DhtNetwork] = None,
     ) -> None:
         self.config = config
         self.seed = seed
@@ -123,6 +125,7 @@ class World:
         self.tracker = tracker
         self.portal = portal
         self.population = population
+        self.dht = dht
         self.metrics = metrics if metrics is not None else get_default_registry()
         self.truth = WorldTruth()
         self._swarms_by_torrent_id: Dict[int, Swarm] = {}
@@ -146,10 +149,17 @@ class World:
         pop_rng = random.Random(master.getrandbits(64))
         workload_rng = random.Random(master.getrandbits(64))
         tracker_rng = random.Random(master.getrandbits(64))
+        # Drawn even when no DHT is built so the base world (plan,
+        # population, workload) is bit-identical across discovery modes --
+        # the ablation compares channels over the *same* world.
+        dht_rng = random.Random(master.getrandbits(64))
 
         plan = AddressPlan(default_isp_profiles(), plan_rng)
         geoip = plan.build_database()
         tracker = Tracker(ANNOUNCE_URL, tracker_rng, config.tracker, metrics=registry)
+        dht: Optional[DhtNetwork] = None
+        if config.uses_dht:
+            dht = DhtNetwork.build(config.dht, seed, dht_rng, metrics=registry)
         portal = Portal(
             PortalConfig(
                 name=config.portal_name,
@@ -159,7 +169,15 @@ class World:
         )
         population = build_population(pop_rng, plan, config.population)
         world = cls(
-            config, seed, plan, geoip, tracker, portal, population, metrics=registry
+            config,
+            seed,
+            plan,
+            geoip,
+            tracker,
+            portal,
+            population,
+            metrics=registry,
+            dht=dht,
         )
         registry.gauge("world.agents").set(len(population.agents))
         world._generate(workload_rng)
@@ -277,10 +295,30 @@ class World:
                 continue  # nobody downloads their own upload
             self._inject_consumption(rng, agent, truth_by_tid[tid])
 
-        # Pass 4: freeze every swarm and register with the tracker.
+        # Pass 4: freeze every swarm, register with the tracker and install
+        # each session's announce interval on the DHT's responsible nodes.
         for _tid, swarm in swarm_records:
             swarm.freeze()
-            self.tracker.register_swarm(swarm)
+            if config.tracker_enabled:
+                self.tracker.register_swarm(swarm)
+            if self.dht is not None:
+                self._announce_swarm_to_dht(swarm)
+
+    def _announce_swarm_to_dht(self, swarm: Swarm) -> None:
+        """Mirror swarm churn into the DHT: every peer session announces at
+        join and re-announces until it leaves (modelled as one interval
+        extended by the nodes' announce TTL, as real stores age out)."""
+        assert self.dht is not None
+        ttl = self.dht.config.announce_ttl_minutes
+        for session in swarm.all_sessions:
+            self.dht.announce_session(
+                swarm.infohash,
+                ip=session.ip,
+                port=peer_port_for_ip(session.ip),
+                start=session.join_time,
+                end=session.leave_time + ttl,
+                seed_from=session.complete_time,
+            )
 
     def _username_for(
         self,
@@ -382,6 +420,17 @@ class World:
                 else "malware-pointer"
             )
 
+        # DHT-era portals carry magnet links next to (or instead of) the
+        # .torrent download; trackerless magnets advertise no tracker URL.
+        magnet_uri: Optional[str] = None
+        if config.uses_dht or config.magnet_only:
+            magnet_uri = build_magnet(
+                meta.infohash,
+                name=title,
+                trackers=(ANNOUNCE_URL,) if config.tracker_enabled else (),
+                length=size,
+            )
+
         torrent_id = self.portal.publish(
             time=publish_time,
             title=title,
@@ -394,6 +443,8 @@ class World:
             payload_kind=payload_kind,
             bundled_file_names=bundled,
             account_created_time=self._account_created_time(agent),
+            magnet_uri=magnet_uri,
+            magnet_only=config.magnet_only,
         )
         self._seed_account_history(agent, username)
 

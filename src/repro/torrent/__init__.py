@@ -5,6 +5,12 @@ parses them back to find the announce URL and the piece count, just as the
 paper's crawler did against Mininova / The Pirate Bay.
 """
 
+from repro.torrent.magnet import (
+    MagnetError,
+    MagnetLink,
+    build_magnet,
+    parse_magnet,
+)
 from repro.torrent.metainfo import (
     MetainfoError,
     TorrentFile,
@@ -14,9 +20,13 @@ from repro.torrent.metainfo import (
 )
 
 __all__ = [
+    "MagnetError",
+    "MagnetLink",
     "MetainfoError",
     "TorrentFile",
     "TorrentMeta",
+    "build_magnet",
     "build_torrent",
+    "parse_magnet",
     "parse_torrent",
 ]

@@ -1,0 +1,134 @@
+"""Tests for the Kademlia routing table (repro.dht.routing)."""
+
+import pytest
+
+from repro.dht.routing import (
+    NODE_ID_BITS,
+    Contact,
+    RoutingTable,
+    bucket_index,
+    derive_node_id,
+    node_id_from_bytes,
+    node_id_to_bytes,
+    xor_distance,
+)
+
+
+class TestNodeIds:
+    def test_bytes_round_trip(self):
+        for node_id in (0, 1, 2**159, (1 << 160) - 1):
+            assert node_id_from_bytes(node_id_to_bytes(node_id)) == node_id
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            node_id_from_bytes(b"\x00" * 19)
+        with pytest.raises(ValueError):
+            node_id_to_bytes(1 << 160)
+        with pytest.raises(ValueError):
+            node_id_to_bytes(-1)
+
+    def test_derive_is_deterministic_and_spread(self):
+        a = derive_node_id("dht-node", 2010, 0)
+        assert a == derive_node_id("dht-node", 2010, 0)
+        others = {derive_node_id("dht-node", 2010, i) for i in range(100)}
+        assert len(others) == 100
+        assert all(0 <= node_id < (1 << NODE_ID_BITS) for node_id in others)
+
+    def test_bucket_index_is_shared_prefix_length(self):
+        local = 1 << 159  # 1000...0
+        assert bucket_index(local, 0) == 0  # differ at the first bit
+        assert bucket_index(local, local | 1) == 159  # differ at the last bit
+        with pytest.raises(ValueError):
+            bucket_index(local, local)
+
+    def test_xor_metric_properties(self):
+        a, b = derive_node_id("a"), derive_node_id("b")
+        assert xor_distance(a, a) == 0
+        assert xor_distance(a, b) == xor_distance(b, a)
+
+
+class TestRoutingTable:
+    def _table(self, **kwargs):
+        return RoutingTable(local_id=derive_node_id("local"), **kwargs)
+
+    def test_observe_and_find(self):
+        table = self._table()
+        contact = Contact(node_id=derive_node_id("x"), ip=1, port=6881)
+        assert table.observe(contact, now=5.0)
+        found = table.find(contact.node_id)
+        assert found is not None and found.last_seen == 5.0
+        assert contact.node_id in table
+        assert len(table) == 1
+
+    def test_never_stores_self(self):
+        table = self._table()
+        me = Contact(node_id=table.local_id, ip=1, port=6881)
+        assert not table.observe(me, now=0.0)
+        assert len(table) == 0
+
+    def test_reobserve_refreshes_in_place(self):
+        table = self._table()
+        contact = Contact(node_id=derive_node_id("x"), ip=1, port=6881)
+        table.observe(contact, now=1.0)
+        table.observe(contact, now=9.0)
+        assert len(table) == 1
+        assert table.find(contact.node_id).last_seen == 9.0
+
+    def test_full_bucket_drops_newcomer_when_fresh(self):
+        table = self._table(k=2, stale_after=100.0)
+        # All ids differing from local in the top bit land in bucket 0.
+        local = table.local_id
+        ids = [(local ^ (1 << 159)) ^ i for i in range(3)]
+        assert table.observe(Contact(ids[0], ip=1, port=1), now=0.0)
+        assert table.observe(Contact(ids[1], ip=2, port=1), now=1.0)
+        # Bucket full, oldest still fresh: newcomer rejected.
+        assert not table.observe(Contact(ids[2], ip=3, port=1), now=50.0)
+        assert ids[2] not in table
+
+    def test_full_bucket_evicts_stale_oldest(self):
+        table = self._table(k=2, stale_after=10.0)
+        local = table.local_id
+        ids = [(local ^ (1 << 159)) ^ i for i in range(3)]
+        table.observe(Contact(ids[0], ip=1, port=1), now=0.0)
+        table.observe(Contact(ids[1], ip=2, port=1), now=1.0)
+        assert table.observe(Contact(ids[2], ip=3, port=1), now=20.0)
+        assert ids[0] not in table  # the stale LRU went
+        assert ids[1] in table and ids[2] in table
+
+    def test_remove(self):
+        table = self._table()
+        contact = Contact(node_id=derive_node_id("x"), ip=1, port=6881)
+        table.observe(contact, now=0.0)
+        table.remove(contact.node_id)
+        assert contact.node_id not in table
+        table.remove(table.local_id)  # no-op, no raise
+
+    def test_closest_orders_by_xor(self):
+        table = self._table(k=4)
+        ids = [derive_node_id("n", i) for i in range(30)]
+        for index, node_id in enumerate(ids):
+            table.observe(Contact(node_id, ip=index + 1, port=1), now=0.0)
+        target = derive_node_id("target")
+        closest = table.closest(target, count=5)
+        distances = [xor_distance(c.node_id, target) for c in closest]
+        assert distances == sorted(distances)
+        # Must be the globally closest subset of what the table retained.
+        kept = [c.node_id for bucket in table._buckets.values() for c in bucket]
+        best = sorted(kept, key=lambda n: xor_distance(n, target))[:5]
+        assert [c.node_id for c in closest] == best
+
+    def test_bucket_sizes_capped_at_k(self):
+        table = self._table(k=3)
+        for i in range(200):
+            table.observe(
+                Contact(derive_node_id("n", i), ip=i + 1, port=1), now=0.0
+            )
+        sizes = table.bucket_sizes()
+        assert sizes and all(size <= 3 for size in sizes.values())
+        assert len(table) == sum(sizes.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoutingTable(local_id=0, k=0)
+        with pytest.raises(ValueError):
+            RoutingTable(local_id=0, stale_after=0.0)
