@@ -1,0 +1,65 @@
+"""Serial vs parallel sweep benchmark: the process pool's speedup.
+
+Runs the same 4-seed baseline grid twice -- ``jobs=1`` (serial, in-process)
+and ``jobs=4`` (process pool) -- and reports wall time, serial-equivalent
+compute, and the speedup.  On a >= 4-core machine the pool must deliver at
+least a 2x wall-clock speedup; on smaller machines (CI runners, 1-2 core
+containers) the number is reported but not asserted, since forking four
+workers onto one core cannot beat the serial loop.
+
+The determinism contract is asserted unconditionally: however many workers
+ran, the aggregate JSON must be byte-identical.
+
+Scale knobs (environment):
+
+- ``REPRO_SWEEP_BENCH_SEEDS`` -- grid size (default 4)
+- ``REPRO_SWEEP_BENCH_JOBS``  -- parallel worker count (default 4)
+"""
+
+import os
+
+import pytest
+
+from repro.campaign import SweepSpec, run_sweep
+
+BENCH_SEEDS = int(os.environ.get("REPRO_SWEEP_BENCH_SEEDS", "4"))
+BENCH_JOBS = int(os.environ.get("REPRO_SWEEP_BENCH_JOBS", "4"))
+# Shortened windows: the benchmark measures pool scaling, not window length.
+WINDOW_DAYS = 2.0
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return SweepSpec(
+        scenarios=("baseline",),
+        seeds=tuple(range(2010, 2010 + BENCH_SEEDS)),
+        window_days=WINDOW_DAYS,
+        post_window_days=WINDOW_DAYS,
+    )
+
+
+def test_parallel_sweep_speedup(spec):
+    serial = run_sweep(spec, jobs=1)
+    parallel = run_sweep(spec, jobs=BENCH_JOBS)
+    speedup = serial.wall_seconds / max(parallel.wall_seconds, 1e-9)
+
+    cores = os.cpu_count() or 1
+    print()
+    print(f"sweep grid          : {len(spec.scenarios)} scenario(s) x "
+          f"{len(spec.seeds)} seeds")
+    print(f"cores available     : {cores}")
+    print(f"serial (--jobs 1)   : {serial.wall_seconds:7.2f} s wall")
+    print(f"parallel (--jobs {BENCH_JOBS}) : {parallel.wall_seconds:7.2f} s wall "
+          f"({parallel.cell_wall_seconds:.2f} s compute)")
+    print(f"speedup             : {speedup:7.2f} x")
+
+    # The contract that holds everywhere: worker count never changes results.
+    assert serial.to_json() == parallel.to_json()
+
+    if cores >= 4 and BENCH_JOBS >= 4 and BENCH_SEEDS >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup at --jobs {BENCH_JOBS} on {cores} cores, "
+            f"got {speedup:.2f}x"
+        )
+    else:
+        print(f"(speedup assertion skipped: {cores} core(s) available)")

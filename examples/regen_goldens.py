@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Regenerate the golden-dataset regression fixtures in tests/golden/.
+
+Run this ONLY when a change intentionally alters campaign results (a new
+world-generation feature, a crawler behaviour change, a fixed analysis bug).
+Commit the regenerated JSON together with the change so reviewers see the
+numeric drift explicitly.
+
+    PYTHONPATH=src python examples/regen_goldens.py
+
+Each golden pins one small campaign: the scenario name, seed, and top-k,
+plus every headline statistic (identification coverage/precision, coverage,
+session error, mapping and publisher-class shares) and the Table-1 counts.
+``tests/test_golden_campaign.py`` recomputes them and fails with a readable
+per-metric diff on any drift.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.campaign import headline_stats  # noqa: E402
+from repro.core.collector import run_measurement_with_world  # noqa: E402
+from repro.simulation import tiny_scenario  # noqa: E402
+
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+
+# Keep in sync with tests/conftest.py: the golden campaign IS the session
+# fixture campaign, so the regression test costs no extra crawl.
+GOLDEN_SCENARIO = "tiny"
+GOLDEN_SEED = 7
+GOLDEN_TOP_K = 20
+
+
+def build_golden() -> dict:
+    dataset, world = run_measurement_with_world(
+        tiny_scenario(), seed=GOLDEN_SEED
+    )
+    return {
+        "scenario": GOLDEN_SCENARIO,
+        "seed": GOLDEN_SEED,
+        "top_k": GOLDEN_TOP_K,
+        "headline": headline_stats(dataset, world, top_k=GOLDEN_TOP_K),
+        "summary": dataset.summary_dict(),
+    }
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    path = GOLDEN_DIR / f"{GOLDEN_SCENARIO}_seed{GOLDEN_SEED}.json"
+    payload = build_golden()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path} ({len(payload['headline'])} headline metrics)")
+
+
+if __name__ == "__main__":
+    main()

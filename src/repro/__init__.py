@@ -19,12 +19,15 @@ Quickstart::
     report = build_report(dataset, top_k=30)
 """
 
+from repro.campaign import SweepSpec, run_sweep
 from repro.core import Dataset, IdentificationOutcome, TorrentRecord, run_measurement
 from repro.core.analysis import PaperReport, build_report, identify_groups
 from repro.observability import MetricsRegistry, get_default_registry
 from repro.simulation import (
     ScenarioConfig,
     World,
+    baseline_scenario,
+    build_scenario,
     hybrid_scenario,
     mn08_scenario,
     pb09_scenario,
@@ -46,7 +49,11 @@ __all__ = [
     "build_report",
     "identify_groups",
     "ScenarioConfig",
+    "SweepSpec",
+    "run_sweep",
     "World",
+    "baseline_scenario",
+    "build_scenario",
     "hybrid_scenario",
     "mn08_scenario",
     "pb09_scenario",

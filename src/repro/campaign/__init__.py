@@ -1,0 +1,49 @@
+"""Multi-seed campaign sweeps: scenario x seed grids, run in parallel.
+
+The paper's conclusions rest on *one* measurement campaign per dataset; the
+simulation can replicate every scenario across many seeds and report
+variance.  This package is that replication engine:
+
+- :mod:`repro.campaign.runner` -- :class:`SweepSpec` (the grid),
+  :func:`run_campaign_cell` (one worker's full monitor->crawler->analysis
+  pipeline returning a compact payload) and :func:`run_sweep` (the
+  process-pool driver).
+- :mod:`repro.campaign.aggregate` -- merges per-seed payloads into
+  cross-seed mean/stdev/percentile bands with bootstrap confidence
+  intervals (:mod:`repro.stats.bootstrap`) and pools observability
+  snapshots (:func:`repro.observability.merge_snapshots`).
+
+Usage::
+
+    from repro.campaign import SweepSpec, run_sweep
+
+    spec = SweepSpec(scenarios=("baseline",), seeds=tuple(range(2010, 2018)))
+    result = run_sweep(spec, jobs=4)
+    print(result.to_json(indent=2))
+
+The aggregate report is byte-identical for any ``jobs`` value over the same
+grid: workers are pure functions of ``(scenario, seed)`` and aggregation
+sorts by grid position, never by completion order.
+"""
+
+from repro.campaign.aggregate import aggregate_results
+from repro.campaign.runner import (
+    CampaignResult,
+    CellSpec,
+    SweepResult,
+    SweepSpec,
+    headline_stats,
+    run_campaign_cell,
+    run_sweep,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CellSpec",
+    "SweepResult",
+    "SweepSpec",
+    "aggregate_results",
+    "headline_stats",
+    "run_campaign_cell",
+    "run_sweep",
+]

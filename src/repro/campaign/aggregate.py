@@ -1,0 +1,90 @@
+"""Cross-seed aggregation: per-seed payloads -> bands, CIs, pooled metrics.
+
+The aggregate report answers the question the single-campaign paper could
+not: *how much does each headline number move when the world is re-rolled?*
+For every headline statistic it reports the cross-seed mean/stdev, the
+quartile band, and a percentile-bootstrap confidence interval for the mean;
+observability snapshots are pooled via
+:func:`repro.observability.merge_snapshots` (counters sum, histograms pool
+their retained samples).
+
+Everything here is a pure, deterministic function of the (ordered) result
+list, which is what makes ``--jobs 1`` vs ``--jobs N`` byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List
+
+from repro.observability import merge_snapshots
+from repro.stats.bootstrap import metric_band, seed_for_metric
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.campaign.runner import CampaignResult, SweepSpec
+
+SCHEMA = "repro.sweep/1"
+
+
+def _aggregate_scenario(
+    spec: "SweepSpec", results: List["CampaignResult"]
+) -> Dict[str, Any]:
+    """Bands + pooled observability for one scenario's seed column."""
+    per_seed: Dict[str, Any] = {}
+    metric_values: Dict[str, List[float]] = {}
+    for result in results:
+        per_seed[str(result.seed)] = {
+            "headline": dict(result.headline),
+            "summary": dict(result.summary),
+        }
+        for name, value in result.headline.items():
+            metric_values.setdefault(name, []).append(float(value))
+        for name, value in result.summary.items():
+            metric_values.setdefault(f"summary.{name}", []).append(
+                float(value)
+            )
+    scenario = results[0].scenario
+    aggregates = {
+        name: metric_band(
+            values,
+            confidence=spec.confidence,
+            resamples=spec.bootstrap_resamples,
+            seed=seed_for_metric(f"{scenario}:{name}"),
+        ).as_dict()
+        for name, values in sorted(metric_values.items())
+    }
+    # Metrics present for only some seeds (e.g. session error when no
+    # publisher was watched) still aggregate; the band's "count" records how
+    # many seeds contributed, and this marker makes partial coverage loud.
+    for name, values in metric_values.items():
+        aggregates[name]["seeds_reporting"] = len(values)
+    return {
+        "seeds": [result.seed for result in results],
+        "per_seed": per_seed,
+        "aggregates": aggregates,
+        "observability": merge_snapshots([r.metrics for r in results]),
+    }
+
+
+def aggregate_results(
+    spec: "SweepSpec", results: List["CampaignResult"]
+) -> Dict[str, Any]:
+    """Merge grid-ordered per-cell payloads into the sweep report dict.
+
+    ``results`` must already be in grid order (run_sweep sorts).  The report
+    is JSON-ready; serialising it with ``sort_keys=True`` is byte-stable
+    across worker counts and repeated runs.
+    """
+    if not results:
+        raise ValueError("cannot aggregate an empty sweep")
+    by_scenario: Dict[str, List["CampaignResult"]] = {}
+    for result in results:
+        by_scenario.setdefault(result.scenario, []).append(result)
+    return {
+        "schema": SCHEMA,
+        "grid": spec.grid_dict(),
+        "num_cells": len(results),
+        "scenarios": {
+            name: _aggregate_scenario(spec, scenario_results)
+            for name, scenario_results in by_scenario.items()
+        },
+    }

@@ -3,6 +3,7 @@
     python -m repro run pb10 --scale 0.4 --archive pb10.sqlite
     python -m repro report pb10 --scale 0.4 --top-k 40
     python -m repro metrics tiny --sim-only
+    python -m repro sweep --scenario baseline --seeds 8 --jobs 4
     python -m repro monitor --days 6
     python -m repro appendix --n 165 --w 50 --spacing 18
 
@@ -18,6 +19,10 @@ Subcommands:
     Run a campaign and emit the observability snapshot as JSON (counters,
     gauges, histogram summaries across engine/crawler/tracker/swarm/portal;
     ``--sim-only`` drops wall-clock timings so output is seed-deterministic).
+``sweep``
+    Replicate scenarios across a seed grid (optionally in parallel worker
+    processes) and print cross-seed mean/stdev/CI bands for every headline
+    statistic; ``--report-json`` writes the deterministic aggregate report.
 ``monitor``
     Run the Section 7 live monitoring application over a small world and
     print the database view.
@@ -33,6 +38,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.campaign import SweepSpec, run_sweep
 from repro.core.analysis.report import build_report, format_report
 from repro.core.collector import run_measurement
 from repro.core.export import save_dataset
@@ -41,32 +47,21 @@ from repro.core.sessions import offline_threshold, required_queries
 from repro.observability import MetricsRegistry
 from repro.simulation import (
     DISCOVERY_MODES,
+    SCENARIO_FACTORIES,
     World,
-    hybrid_scenario,
-    mn08_scenario,
-    pb09_scenario,
-    pb10_scenario,
+    build_scenario,
     tiny_scenario,
-    trackerless_scenario,
 )
 from repro.simulation.engine import EventScheduler
 from repro.stats.tables import format_number, format_table
 
-_SCENARIOS = {
-    "pb10": pb10_scenario,
-    "pb09": pb09_scenario,
-    "mn08": mn08_scenario,
-    "trackerless": trackerless_scenario,
-    "hybrid": hybrid_scenario,
-}
-
 
 def _scenario_name(value: str) -> str:
     """Argparse type for scenario names: exits 2 with the valid list."""
-    valid = sorted(_SCENARIOS) + ["tiny"]
-    if value not in valid:
+    if value not in SCENARIO_FACTORIES:
         raise argparse.ArgumentTypeError(
-            f"unknown scenario {value!r}; valid scenarios: {', '.join(valid)}"
+            f"unknown scenario {value!r}; valid scenarios: "
+            f"{', '.join(sorted(SCENARIO_FACTORIES))}"
         )
     return value
 
@@ -83,29 +78,18 @@ def _seed_value(value: str) -> int:
 
 
 def _scenario_from_args(args: argparse.Namespace):
-    if args.scenario == "tiny":
-        config = tiny_scenario()
-    else:
-        config = _SCENARIOS[args.scenario](
-            scale=args.scale, popularity_scale=args.pop
-        )
-    discovery = getattr(args, "discovery", None)
-    if discovery is not None and discovery != config.discovery:
-        # Moving *to* a tracker-involving mode needs the tracker back on;
-        # moving to dht-only works for any scenario.
-        config = dataclasses.replace(
-            config,
-            discovery=discovery,
-            tracker_enabled=config.tracker_enabled or discovery != "dht",
-            magnet_only=config.magnet_only and discovery != "tracker",
-        )
-    return config
+    return build_scenario(
+        args.scenario,
+        scale=args.scale,
+        popularity_scale=args.pop,
+        discovery=getattr(args, "discovery", None),
+    )
 
 
 def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "scenario", type=_scenario_name,
-        metavar="{" + ",".join(sorted(_SCENARIOS) + ["tiny"]) + "}",
+        metavar="{" + ",".join(sorted(SCENARIO_FACTORIES)) + "}",
         help="which dataset analogue to build",
     )
     parser.add_argument("--scale", type=float, default=1.0,
@@ -138,7 +122,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     )
     if args.archive:
-        save_dataset(dataset, args.archive)
+        # Re-running the same command line should refresh the archive.
+        save_dataset(dataset, args.archive, overwrite=True)
         print(f"archive written to {args.archive}")
     return 0
 
@@ -173,8 +158,6 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
-    import dataclasses
-
     config = dataclasses.replace(
         tiny_scenario("cli-monitor"),
         window_days=args.days,
@@ -206,6 +189,77 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             title="Publisher ISPs",
         )
     )
+    return 0
+
+
+def _sweep_seeds(args: argparse.Namespace) -> List[int]:
+    """The seed list: explicit ``--seed-list`` wins over ``--seeds N``."""
+    if args.seed_list:
+        try:
+            seeds = [int(part) for part in args.seed_list.split(",") if part.strip()]
+        except ValueError:
+            raise SystemExit(
+                f"--seed-list must be comma-separated integers, got "
+                f"{args.seed_list!r}"
+            )
+        if not seeds:
+            raise SystemExit("--seed-list produced no seeds")
+        return seeds
+    if args.seeds < 1:
+        raise SystemExit(f"--seeds must be >= 1, got {args.seeds}")
+    return list(range(args.seed_base, args.seed_base + args.seeds))
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    seeds = _sweep_seeds(args)
+    try:
+        spec = SweepSpec(
+            scenarios=tuple(args.scenario or ["baseline"]),
+            seeds=tuple(seeds),
+            scale=args.scale,
+            popularity_scale=args.pop,
+            discovery=args.discovery,
+            top_k=args.top_k,
+            window_days=args.window_days,
+            post_window_days=args.post_window_days,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    result = run_sweep(spec, jobs=args.jobs, progress=print)
+
+    for scenario, block in result.report["scenarios"].items():
+        rows = []
+        for name, band in block["aggregates"].items():
+            rows.append(
+                [
+                    name,
+                    f"{band['mean']:.4f}",
+                    f"{band['stdev']:.4f}",
+                    f"[{band['ci_low']:.4f}, {band['ci_high']:.4f}]",
+                    band["seeds_reporting"],
+                ]
+            )
+        print()
+        print(
+            format_table(
+                ["metric", "mean", "stdev",
+                 f"{100 * spec.confidence:.0f}% CI", "seeds"],
+                rows,
+                title=f"Sweep aggregates -- {scenario} "
+                f"({len(block['seeds'])} seeds)",
+            )
+        )
+    print()
+    print(
+        f"{result.report['num_cells']} cells in {result.wall_seconds:.1f}s "
+        f"wall at --jobs {result.jobs} "
+        f"(serial-equivalent compute {result.cell_wall_seconds:.1f}s, "
+        f"speedup {result.cell_wall_seconds / max(result.wall_seconds, 1e-9):.2f}x)"
+    )
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json(indent=2) + "\n")
+        print(f"aggregate report written to {args.report_json}")
     return 0
 
 
@@ -252,6 +306,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics_parser.add_argument("--output", help="write the JSON here")
     metrics_parser.set_defaults(func=_cmd_metrics)
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="replicate scenarios across a seed grid and report "
+        "cross-seed bands with bootstrap confidence intervals",
+    )
+    sweep_parser.add_argument(
+        "--scenario", type=_scenario_name, action="append", default=None,
+        metavar="{" + ",".join(sorted(SCENARIO_FACTORIES)) + "}",
+        help="scenario to replicate (repeatable; default: baseline)",
+    )
+    sweep_parser.add_argument(
+        "--seeds", type=int, default=8, metavar="N",
+        help="number of consecutive seeds starting at --seed-base "
+        "(default 8)",
+    )
+    sweep_parser.add_argument(
+        "--seed-base", type=_seed_value, default=2010,
+        help="first seed of the consecutive grid (default 2010)",
+    )
+    sweep_parser.add_argument(
+        "--seed-list", default=None, metavar="S1,S2,...",
+        help="explicit comma-separated seed list (overrides --seeds)",
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes; 1 runs serially in-process (default 1)",
+    )
+    sweep_parser.add_argument("--scale", type=float, default=1.0,
+                              help="publisher population scale (default 1.0)")
+    sweep_parser.add_argument("--pop", type=float, default=1.0,
+                              help="per-torrent popularity scale (default 1.0)")
+    sweep_parser.add_argument(
+        "--discovery", choices=DISCOVERY_MODES, default=None,
+        help="peer-discovery channel override for every cell",
+    )
+    sweep_parser.add_argument("--top-k", type=int, default=20,
+                              help="size of the Top publisher set (default 20)")
+    sweep_parser.add_argument(
+        "--window-days", type=float, default=None,
+        help="override the scenario's measurement window length",
+    )
+    sweep_parser.add_argument(
+        "--post-window-days", type=float, default=None,
+        help="override the scenario's post-window monitoring tail",
+    )
+    sweep_parser.add_argument(
+        "--report-json", nargs="?", const="sweep_report.json", default=None,
+        metavar="PATH",
+        help="write the deterministic aggregate JSON report here "
+        "(bare flag: sweep_report.json)",
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
 
     monitor_parser = sub.add_parser("monitor", help="run the Section 7 live "
                                     "monitoring application")

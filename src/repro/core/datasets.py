@@ -147,6 +147,15 @@ class Dataset:
                 seen.add(record.publisher_ip)
         return len(seen)
 
+    def summary_dict(self) -> Dict[str, int]:
+        """The Table-1 row as a plain dict (sweep payloads, run reports)."""
+        return {
+            "num_torrents": self.num_torrents,
+            "num_with_username": self.num_with_username,
+            "num_with_publisher_ip": self.num_with_publisher_ip,
+            "total_distinct_ips": self.total_distinct_ips(),
+        }
+
     # ------------------------------------------------------------------
     # Publisher-level accessors
     # ------------------------------------------------------------------

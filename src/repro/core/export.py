@@ -18,6 +18,7 @@ publisher IP) to keep the ISP analyses working standalone via
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
 from typing import Dict, Optional
 
@@ -86,8 +87,20 @@ class ArchivedGeoIp(GeoIpDatabase):
         return len(self._table)
 
 
-def save_dataset(dataset: Dataset, path: str) -> None:
-    """Write the campaign to a SQLite archive at ``path``."""
+def save_dataset(dataset: Dataset, path: str, overwrite: bool = False) -> None:
+    """Write the campaign to a SQLite archive at ``path``.
+
+    An existing archive is refused unless ``overwrite=True`` (which replaces
+    it atomically from the reader's perspective: the old file is unlinked
+    first, so a concurrent reader keeps its open snapshot).
+    """
+    if os.path.exists(path):
+        if not overwrite:
+            raise FileExistsError(
+                f"archive already exists at {path!r}; "
+                "pass overwrite=True to replace it"
+            )
+        os.remove(path)
     conn = sqlite3.connect(path)
     try:
         conn.executescript("PRAGMA journal_mode=MEMORY;")

@@ -13,6 +13,7 @@ This is the *only* analysis-adjacent module allowed to read
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -225,8 +226,9 @@ def validate_campaign(
     samples = score_session_estimation(dataset, world, threshold_minutes)
     median_error: Optional[float] = None
     if samples:
-        errors = sorted(s.relative_error for s in samples)
-        median_error = errors[len(errors) // 2]
+        # statistics.median averages the two middle elements on even-length
+        # samples; indexing len//2 would take the upper-middle one.
+        median_error = statistics.median(s.relative_error for s in samples)
     discovery: Optional[DiscoveryChannelScore] = None
     if world.config.uses_dht:
         discovery = score_discovery_channels(dataset, world)

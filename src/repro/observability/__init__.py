@@ -31,6 +31,7 @@ from repro.observability.metrics import (
     MetricsError,
     MetricsRegistry,
     Timer,
+    merge_snapshots,
 )
 from repro.observability.tracing import TraceBuffer, TraceEvent
 
@@ -69,6 +70,7 @@ __all__ = [
     "Timer",
     "TraceBuffer",
     "TraceEvent",
+    "merge_snapshots",
     "get_default_registry",
     "set_default_registry",
     "scoped_registry",

@@ -59,7 +59,9 @@ class _Instrument:
             raise MetricsError("instrument name must be non-empty")
         self.name = name
 
-    def snapshot_values(self) -> Dict[str, Any]:  # pragma: no cover - abstract
+    def snapshot_values(
+        self, include_samples: bool = False
+    ) -> Dict[str, Any]:  # pragma: no cover - abstract
         raise NotImplementedError
 
 
@@ -87,7 +89,7 @@ class Counter(_Instrument):
         """Sum across every label set."""
         return sum(self._values.values())
 
-    def snapshot_values(self) -> Dict[str, Any]:
+    def snapshot_values(self, include_samples: bool = False) -> Dict[str, Any]:
         return {
             _label_string(key): self._values[key]
             for key in sorted(self._values)
@@ -113,7 +115,7 @@ class Gauge(_Instrument):
     def value(self, **labels: Any) -> float:
         return self._values.get(_label_key(labels), 0.0)
 
-    def snapshot_values(self) -> Dict[str, Any]:
+    def snapshot_values(self, include_samples: bool = False) -> Dict[str, Any]:
         return {
             _label_string(key): self._values[key]
             for key in sorted(self._values)
@@ -155,16 +157,12 @@ class _HistogramState:
 
     def quantile(self, q: float) -> float:
         """Nearest-rank quantile over the retained samples."""
-        if not self.samples:
-            return 0.0
-        ordered = sorted(self.samples)
-        rank = max(int(q * len(ordered) + 0.5), 1)
-        return ordered[min(rank, len(ordered)) - 1]
+        return _nearest_rank(self.samples, q)
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self, include_samples: bool = False) -> Dict[str, Any]:
         if self.count == 0:
-            return {"count": 0}
-        return {
+            return {"count": 0, "samples": []} if include_samples else {"count": 0}
+        out: Dict[str, Any] = {
             "count": self.count,
             "sum": self.total,
             "min": self.minimum,
@@ -174,6 +172,18 @@ class _HistogramState:
             "p90": self.quantile(0.90),
             "p99": self.quantile(0.99),
         }
+        if include_samples:
+            out["samples"] = list(self.samples)
+        return out
+
+
+def _nearest_rank(samples: List[float], q: float) -> float:
+    """Nearest-rank quantile over an (unsorted) retained-sample list."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(int(q * len(ordered) + 0.5), 1)
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 class Histogram(_Instrument):
@@ -203,13 +213,15 @@ class Histogram(_Instrument):
         state = self._states.get(_label_key(labels))
         return state.count if state is not None else 0
 
-    def summary(self, **labels: Any) -> Dict[str, float]:
+    def summary(self, **labels: Any) -> Dict[str, Any]:
         state = self._states.get(_label_key(labels))
         return state.summary() if state is not None else {"count": 0}
 
-    def snapshot_values(self) -> Dict[str, Any]:
+    def snapshot_values(self, include_samples: bool = False) -> Dict[str, Any]:
         return {
-            _label_string(key): self._states[key].summary()
+            _label_string(key): self._states[key].summary(
+                include_samples=include_samples
+            )
             for key in sorted(self._states)
         }
 
@@ -314,8 +326,16 @@ class MetricsRegistry:
             names.append(name)
         return sorted(names)
 
-    def snapshot(self, include_wall: bool = True) -> Dict[str, Any]:
-        """A plain-dict copy of every instrument (safe to mutate/serialise)."""
+    def snapshot(
+        self, include_wall: bool = True, include_samples: bool = False
+    ) -> Dict[str, Any]:
+        """A plain-dict copy of every instrument (safe to mutate/serialise).
+
+        ``include_samples=True`` additionally exports every histogram's
+        retained sample list, which is what makes snapshots *mergeable*:
+        :func:`merge_snapshots` pools those samples so cross-worker quantiles
+        come from real observations, not from averaged summaries.
+        """
         out: Dict[str, Any] = {}
         for name in sorted(self._instruments):
             instrument = self._instruments[name]
@@ -324,7 +344,9 @@ class MetricsRegistry:
                 continue
             entry: Dict[str, Any] = {
                 "type": instrument.kind,
-                "values": instrument.snapshot_values(),
+                "values": instrument.snapshot_values(
+                    include_samples=include_samples
+                ),
             }
             if wall:
                 entry["wall"] = True
@@ -351,3 +373,106 @@ class MetricsRegistry:
 
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
+
+
+# ---------------------------------------------------------------------------
+# Snapshot merging (cross-worker / cross-seed aggregation)
+# ---------------------------------------------------------------------------
+def _merge_histogram_values(
+    per_label: Dict[str, List[Dict[str, Any]]]
+) -> Dict[str, Any]:
+    """Pool histogram summaries per label set.
+
+    count/sum/min/max are exact; quantiles are recomputed nearest-rank over
+    the concatenated retained samples (present when the snapshots were taken
+    with ``include_samples=True``).  Without samples, quantiles are dropped
+    rather than guessed from averaged summaries.
+    """
+    merged: Dict[str, Any] = {}
+    for label in sorted(per_label):
+        count = 0
+        total = 0.0
+        minimum = float("inf")
+        maximum = float("-inf")
+        samples: List[float] = []
+        have_samples = True
+        for summary in per_label[label]:
+            entry_count = int(summary.get("count", 0))
+            if entry_count == 0:
+                continue
+            count += entry_count
+            total += float(summary.get("sum", 0.0))
+            minimum = min(minimum, float(summary.get("min", minimum)))
+            maximum = max(maximum, float(summary.get("max", maximum)))
+            if "samples" in summary:
+                samples.extend(summary["samples"])
+            else:
+                have_samples = False
+        if count == 0:
+            merged[label] = {"count": 0}
+            continue
+        pooled: Dict[str, Any] = {
+            "count": count,
+            "sum": total,
+            "min": minimum,
+            "max": maximum,
+            "mean": total / count,
+        }
+        if have_samples and samples:
+            pooled["p50"] = _nearest_rank(samples, 0.50)
+            pooled["p90"] = _nearest_rank(samples, 0.90)
+            pooled["p99"] = _nearest_rank(samples, 0.99)
+        merged[label] = pooled
+    return merged
+
+
+def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge :meth:`MetricsRegistry.snapshot` dicts from several runs/workers.
+
+    Counters and gauges sum per label set; histograms pool (see
+    :func:`_merge_histogram_values`).  The result has the same shape as a
+    plain snapshot and is deterministic in the *sorted* instrument/label
+    order, so merging the same snapshots in the same list order always
+    serialises byte-identically -- the property the parallel sweep's
+    ``--jobs 1`` vs ``--jobs N`` equivalence rests on.
+    """
+    kinds: Dict[str, str] = {}
+    scalar_values: Dict[str, Dict[str, float]] = {}
+    histogram_values: Dict[str, Dict[str, List[Dict[str, Any]]]] = {}
+    wall_flags: Dict[str, bool] = {}
+    for snap in snapshots:
+        for name, entry in snap.items():
+            kind = entry.get("type", "counter")
+            seen = kinds.setdefault(name, kind)
+            if seen != kind:
+                raise MetricsError(
+                    f"cannot merge instrument {name!r}: {seen} vs {kind}"
+                )
+            wall_flags[name] = wall_flags.get(name, False) or bool(
+                entry.get("wall", False)
+            )
+            if kind == "histogram":
+                per_label = histogram_values.setdefault(name, {})
+                for label, summary in entry.get("values", {}).items():
+                    per_label.setdefault(label, []).append(summary)
+            else:
+                per_label_scalar = scalar_values.setdefault(name, {})
+                for label, value in entry.get("values", {}).items():
+                    per_label_scalar[label] = (
+                        per_label_scalar.get(label, 0.0) + float(value)
+                    )
+    merged: Dict[str, Any] = {}
+    for name in sorted(kinds):
+        kind = kinds[name]
+        if kind == "histogram":
+            values: Dict[str, Any] = _merge_histogram_values(
+                histogram_values.get(name, {})
+            )
+        else:
+            scalars = scalar_values.get(name, {})
+            values = {label: scalars[label] for label in sorted(scalars)}
+        entry = {"type": kind, "values": values}
+        if wall_flags.get(name):
+            entry["wall"] = True
+        merged[name] = entry
+    return merged

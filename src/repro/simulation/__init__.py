@@ -11,8 +11,11 @@ from repro.simulation.engine import EventScheduler
 from repro.simulation.world import World
 from repro.simulation.scenarios import (
     DISCOVERY_MODES,
+    SCENARIO_FACTORIES,
     CrawlerSettings,
     ScenarioConfig,
+    baseline_scenario,
+    build_scenario,
     hybrid_scenario,
     mn08_scenario,
     pb09_scenario,
@@ -31,7 +34,10 @@ __all__ = [
     "World",
     "CrawlerSettings",
     "DISCOVERY_MODES",
+    "SCENARIO_FACTORIES",
     "ScenarioConfig",
+    "baseline_scenario",
+    "build_scenario",
     "hybrid_scenario",
     "mn08_scenario",
     "pb09_scenario",

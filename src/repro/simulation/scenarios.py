@@ -186,6 +186,38 @@ def mn08_scenario(scale: float = 1.0, popularity_scale: float = 1.0) -> Scenario
     )
 
 
+def baseline_scenario(
+    scale: float = 1.0, popularity_scale: float = 1.0
+) -> ScenarioConfig:
+    """The default sweep grid cell: a minutes-scale world with every species.
+
+    Identical in shape to :func:`tiny_scenario` but with uniform
+    ``(scale, popularity_scale)`` knobs so ``repro sweep`` can replicate it
+    across a seed grid in seconds per cell.
+    """
+    return ScenarioConfig(
+        name="baseline",
+        portal_name="The Pirate Bay",
+        rss_includes_username=True,
+        window_days=6.0,
+        post_window_days=6.0,
+        population=PopulationConfig(
+            num_regular=120,
+            num_bt_portal=2,
+            num_web_promoter=2,
+            num_altruistic_top=3,
+            num_fake_antipiracy=1,
+            num_fake_malware=1,
+        ).scaled(scale),
+        popularity_scale=0.15 * popularity_scale,
+        crawler=CrawlerSettings(
+            rss_poll_interval=10.0,
+            vantage_count=1,
+        ),
+        tracker=TrackerConfig(min_interval=20.0, max_interval=30.0),
+    )
+
+
 def tiny_scenario(seed_name: str = "tiny") -> ScenarioConfig:
     """A minutes-scale world for tests: every species present, tiny swarms."""
     return ScenarioConfig(
@@ -294,3 +326,68 @@ def scaled(config: ScenarioConfig, scale: float, popularity_scale: float) -> Sce
         population=config.population.scaled(scale),
         popularity_scale=config.popularity_scale * popularity_scale,
     )
+
+
+def _tiny_factory(scale: float = 1.0, popularity_scale: float = 1.0) -> ScenarioConfig:
+    """Uniform-signature wrapper so ``tiny`` lives in the registry too."""
+    return scaled(tiny_scenario(), scale, popularity_scale)
+
+
+# Canonical name -> factory registry.  Every factory takes
+# ``(scale, popularity_scale)``; the CLI and the campaign sweep runner both
+# resolve scenarios here (workers rebuild configs by name, never by pickling).
+SCENARIO_FACTORIES = {
+    "baseline": baseline_scenario,
+    "hybrid": hybrid_scenario,
+    "mn08": mn08_scenario,
+    "pb09": pb09_scenario,
+    "pb10": pb10_scenario,
+    "tiny": _tiny_factory,
+    "trackerless": trackerless_scenario,
+}
+
+
+def build_scenario(
+    name: str,
+    scale: float = 1.0,
+    popularity_scale: float = 1.0,
+    discovery: Optional[str] = None,
+    window_days: Optional[float] = None,
+    post_window_days: Optional[float] = None,
+) -> ScenarioConfig:
+    """Resolve a scenario by name and apply the standard overrides.
+
+    ``discovery`` switches the peer-discovery channel; moving *to* a
+    tracker-involving mode turns the tracker back on, moving to dht-only
+    works for any scenario.  ``window_days``/``post_window_days`` shrink or
+    stretch the measurement window (sweep grids use short windows to trade
+    statistical power for wall-clock time).
+    """
+    try:
+        factory = SCENARIO_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; valid scenarios: "
+            f"{', '.join(sorted(SCENARIO_FACTORIES))}"
+        ) from None
+    config = factory(scale=scale, popularity_scale=popularity_scale)
+    if discovery is not None and discovery != config.discovery:
+        config = replace(
+            config,
+            discovery=discovery,
+            tracker_enabled=config.tracker_enabled or discovery != "dht",
+            magnet_only=config.magnet_only and discovery != "tracker",
+        )
+    if window_days is not None or post_window_days is not None:
+        config = replace(
+            config,
+            window_days=(
+                window_days if window_days is not None else config.window_days
+            ),
+            post_window_days=(
+                post_window_days
+                if post_window_days is not None
+                else config.post_window_days
+            ),
+        )
+    return config

@@ -130,6 +130,7 @@ class World:
         self.truth = WorldTruth()
         self._swarms_by_torrent_id: Dict[int, Swarm] = {}
         self._num_pieces_by_torrent_id: Dict[int, int] = {}
+        self._keepalive_cache: Dict[int, List[Tuple[float, float]]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -190,6 +191,12 @@ class World:
 
     def swarm_for(self, torrent_id: int) -> Swarm:
         return self._swarms_by_torrent_id[torrent_id]
+
+    @property
+    def num_swarms(self) -> int:
+        """Ground-truth swarm count (sweep payloads report it next to the
+        measured torrent count)."""
+        return len(self._swarms_by_torrent_id)
 
     def num_pieces_for(self, torrent_id: int) -> int:
         return self._num_pieces_by_torrent_id[torrent_id]
@@ -558,11 +565,7 @@ class World:
             historical = min(historical, 5)
         account.seed_history(first_time=first, count=historical)
 
-    _keepalive_cache: Dict[int, List[Tuple[float, float]]]
-
     def _keepalive_schedule(self, agent: PublisherAgent) -> List[Tuple[float, float]]:
-        if not hasattr(self, "_keepalive_cache"):
-            self._keepalive_cache = {}
         schedule = self._keepalive_cache.get(agent.agent_id)
         if schedule is None:
             schedule_rng = random.Random(

@@ -11,8 +11,11 @@ that the core library can run anywhere.  It provides:
   modules that reproduce the paper's figures.
 - :mod:`repro.stats.tables` -- plain-text table rendering used by the
   benchmark harness to print paper-style tables.
+- :mod:`repro.stats.bootstrap` -- cross-seed bands and deterministic
+  percentile-bootstrap confidence intervals used by ``repro sweep``.
 """
 
+from repro.stats.bootstrap import MetricBand, bootstrap_ci, metric_band
 from repro.stats.distributions import (
     BoundedPareto,
     LogNormal,
@@ -31,6 +34,9 @@ from repro.stats.summaries import (
 from repro.stats.tables import format_table
 
 __all__ = [
+    "MetricBand",
+    "bootstrap_ci",
+    "metric_band",
     "BoundedPareto",
     "LogNormal",
     "ZipfSampler",

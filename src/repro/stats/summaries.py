@@ -31,7 +31,12 @@ def percentile(values: Sequence[float], q: float) -> float:
     if lower == upper:
         return float(ordered[lower])
     frac = pos - lower
-    return float(ordered[lower] * (1 - frac) + ordered[upper] * frac)
+    lo = float(ordered[lower])
+    hi = float(ordered[upper])
+    # lo + (hi - lo) * frac rather than lo*(1-frac) + hi*frac: the latter
+    # underflows to 0.0 on subnormal inputs (e.g. two 5e-324 values).  The
+    # clamp keeps rounding from drifting an ulp outside [lo, hi].
+    return min(max(lo + (hi - lo) * frac, lo), hi)
 
 
 @dataclass(frozen=True)

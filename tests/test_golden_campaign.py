@@ -1,0 +1,91 @@
+"""Golden-dataset regression: the pinned-seed campaign's headline stats.
+
+The golden file (tests/golden/tiny_seed7.json, written by
+``examples/regen_goldens.py``) pins every headline statistic of the tiny
+seed-7 campaign -- the same campaign the session-scoped ``tiny_run`` fixture
+builds, so this harness costs no extra crawl.  Any unintentional drift in
+world generation, the crawler, identification, session reconstruction or
+the analysis pipeline fails here with a per-metric diff; intentional drift
+is recorded by re-running the regeneration script and committing the new
+golden alongside the change.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import headline_stats
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "tiny_seed7.json"
+
+# Tight but not bit-exact: every value is a deterministic float computation,
+# the tolerance only forgives last-ulp differences across platforms.
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _diff_lines(expected: dict, actual: dict, label: str) -> list:
+    """Readable per-key drift report between two flat numeric dicts."""
+    lines = []
+    for key in sorted(set(expected) | set(actual)):
+        if key not in actual:
+            lines.append(f"  {label}.{key}: MISSING (golden={expected[key]!r})")
+            continue
+        if key not in expected:
+            lines.append(
+                f"  {label}.{key}: UNEXPECTED (got={actual[key]!r}; "
+                "regenerate goldens if intentional)"
+            )
+            continue
+        want, got = expected[key], actual[key]
+        if not math.isclose(want, got, rel_tol=REL_TOL, abs_tol=ABS_TOL):
+            drift = got - want
+            lines.append(
+                f"  {label}.{key}: golden={want!r} got={got!r} "
+                f"(drift {drift:+.3e})"
+            )
+    return lines
+
+
+class TestGoldenCampaign:
+    def test_fixture_matches_golden_pin(self, golden):
+        """Guard the pin itself: conftest and the golden must agree."""
+        from tests.conftest import TINY_SEED, TINY_TOP_K
+
+        assert golden["seed"] == TINY_SEED
+        assert golden["top_k"] == TINY_TOP_K
+        assert golden["scenario"] == "tiny"
+
+    def test_headline_stats_match_golden(self, golden, tiny_run):
+        dataset, world = tiny_run
+        actual = headline_stats(dataset, world, top_k=golden["top_k"])
+        diff = _diff_lines(golden["headline"], actual, "headline")
+        diff += _diff_lines(golden["summary"], dataset.summary_dict(), "summary")
+        if diff:
+            pytest.fail(
+                "golden campaign drifted "
+                f"({len(diff)} metrics; regen with "
+                "`python examples/regen_goldens.py` if intentional):\n"
+                + "\n".join(diff)
+            )
+
+    def test_golden_covers_every_headline_family(self, golden):
+        """The golden must keep covering all headline stat families; a key
+        family silently vanishing would hollow the regression out."""
+        families = {key.split(".")[0] for key in golden["headline"]}
+        assert {
+            "identification",
+            "download",
+            "session",
+            "contribution",
+            "mapping",
+            "classes",
+        } <= families

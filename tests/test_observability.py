@@ -11,6 +11,7 @@ import pytest
 
 from repro.observability import (
     MetricsError,
+    merge_snapshots,
     MetricsRegistry,
     TraceBuffer,
     get_default_registry,
@@ -250,3 +251,86 @@ class TestDefaultRegistry:
             assert get_default_registry() is replacement
         finally:
             set_default_registry(original)
+
+
+class TestMergeSnapshots:
+    """merge_snapshots pools per-worker registries into one snapshot-shaped
+    dict -- the primitive the parallel sweep's aggregation rests on."""
+
+    @staticmethod
+    def _worker_snapshot(counter_by_label, histogram_samples):
+        registry = MetricsRegistry()
+        for label_kwargs, amount in counter_by_label:
+            registry.counter("jobs").inc(amount, **label_kwargs)
+        for value in histogram_samples:
+            registry.histogram("latency").observe(value)
+        return registry.snapshot(include_wall=False, include_samples=True)
+
+    def test_counters_sum_per_label(self):
+        first = self._worker_snapshot([({"kind": "a"}, 2), ({}, 1)], [])
+        second = self._worker_snapshot([({"kind": "a"}, 3), ({"kind": "b"}, 5)], [])
+        merged = merge_snapshots([first, second])
+        assert merged["jobs"]["values"] == {
+            "": 1.0, "kind=a": 5.0, "kind=b": 5.0,
+        }
+
+    def test_gauges_sum(self):
+        registries = [MetricsRegistry(), MetricsRegistry()]
+        registries[0].gauge("inflight").set(3.0)
+        registries[1].gauge("inflight").set(4.0)
+        merged = merge_snapshots([r.snapshot() for r in registries])
+        assert merged["inflight"]["values"][""] == 7.0
+
+    def test_histograms_pool_exactly(self):
+        first = self._worker_snapshot([], [1.0, 9.0])
+        second = self._worker_snapshot([], [2.0, 4.0, 100.0])
+        merged = merge_snapshots([first, second])
+        pooled = merged["latency"]["values"][""]
+        assert pooled["count"] == 5
+        assert pooled["sum"] == 116.0
+        assert pooled["min"] == 1.0 and pooled["max"] == 100.0
+        assert pooled["mean"] == pytest.approx(23.2)
+        # Quantiles recomputed from the pooled samples, not averaged
+        # per-worker summaries: the pooled p90 is 100, which no
+        # summary-averaging scheme would produce.
+        assert pooled["p50"] == 4.0
+        assert pooled["p90"] == 100.0
+
+    def test_quantiles_dropped_without_samples(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency").observe(5.0)
+        sampleless = registry.snapshot(include_samples=False)
+        merged = merge_snapshots([sampleless, sampleless])
+        pooled = merged["latency"]["values"][""]
+        assert pooled["count"] == 2
+        assert "p50" not in pooled
+
+    def test_type_conflict_raises(self):
+        first = MetricsRegistry()
+        first.counter("thing").inc()
+        second = MetricsRegistry()
+        second.gauge("thing").set(1.0)
+        with pytest.raises(MetricsError, match="thing"):
+            merge_snapshots([first.snapshot(), second.snapshot()])
+
+    def test_merge_is_order_stable_and_snapshot_shaped(self):
+        first = self._worker_snapshot([({"kind": "a"}, 1)], [3.0])
+        second = self._worker_snapshot([({"kind": "b"}, 2)], [8.0])
+        merged = merge_snapshots([first, second])
+        again = merge_snapshots([first, second])
+        assert json.dumps(merged, sort_keys=True) == json.dumps(
+            again, sort_keys=True
+        )
+        assert list(merged) == sorted(merged)
+        for entry in merged.values():
+            assert set(entry) >= {"type", "values"}
+
+    def test_empty_merge(self):
+        assert merge_snapshots([]) == {}
+
+    def test_wall_flag_survives_merge(self):
+        registry = MetricsRegistry()
+        with registry.timer("wall_op"):
+            pass
+        merged = merge_snapshots([registry.snapshot(include_wall=True)])
+        assert merged["wall_op"].get("wall") is True

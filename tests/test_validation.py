@@ -67,3 +67,65 @@ class TestSummary:
         assert summary.session_samples > 0
         assert summary.session_median_relative_error is not None
         assert summary.session_median_relative_error < 1.0
+
+
+class TestMedianRegression:
+    """validate_campaign must use the true median, not the upper-middle
+    element, on even-length session-error sample lists."""
+
+    @staticmethod
+    def _fake_samples(errors):
+        # relative_error == estimated/true - 1 when estimated > true; build
+        # samples whose relative errors are exactly ``errors``.
+        from repro.core.validation import SessionErrorSample
+
+        return [
+            SessionErrorSample(
+                torrent_id=i,
+                true_minutes=100.0,
+                estimated_minutes=100.0 * (1.0 + err),
+            )
+            for i, err in enumerate(errors)
+        ]
+
+    def test_even_sample_count_averages_middle_pair(
+        self, dataset, world, monkeypatch
+    ):
+        import repro.core.validation as validation_module
+
+        samples = self._fake_samples([0.1, 0.2, 0.4, 0.8])
+        monkeypatch.setattr(
+            validation_module,
+            "score_session_estimation",
+            lambda *args, **kwargs: samples,
+        )
+        summary = validation_module.validate_campaign(dataset, world)
+        # True median of [0.1, 0.2, 0.4, 0.8] is 0.3; the old
+        # errors[len // 2] indexing returned the upper-middle 0.4.
+        assert summary.session_median_relative_error == pytest.approx(0.3)
+        assert summary.session_samples == 4
+
+    def test_odd_sample_count_takes_middle(self, dataset, world, monkeypatch):
+        import repro.core.validation as validation_module
+
+        samples = self._fake_samples([0.5, 0.1, 0.9])
+        monkeypatch.setattr(
+            validation_module,
+            "score_session_estimation",
+            lambda *args, **kwargs: samples,
+        )
+        summary = validation_module.validate_campaign(dataset, world)
+        assert summary.session_median_relative_error == pytest.approx(0.5)
+
+    def test_unordered_samples_still_median(self, dataset, world, monkeypatch):
+        """The fix must sort: median of an unsorted even list."""
+        import repro.core.validation as validation_module
+
+        samples = self._fake_samples([0.9, 0.1, 0.7, 0.3])
+        monkeypatch.setattr(
+            validation_module,
+            "score_session_estimation",
+            lambda *args, **kwargs: samples,
+        )
+        summary = validation_module.validate_campaign(dataset, world)
+        assert summary.session_median_relative_error == pytest.approx(0.5)
