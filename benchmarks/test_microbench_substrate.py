@@ -10,6 +10,11 @@ import random
 from repro.bencode import bdecode, bencode
 from repro.swarm import PeerSession, Swarm
 from repro.torrent import build_torrent, parse_torrent
+from repro.torrent.metainfo import _derive_pieces
+from repro.tracker.protocol import (
+    decode_announce_response,
+    encode_announce_success,
+)
 from repro.tracker import AnnounceRequest, Tracker, TrackerConfig
 
 IH = b"\x77" * 20
@@ -89,3 +94,47 @@ def test_bench_tracker_announce(benchmark):
 
     raw = benchmark(announce_once)
     assert raw.startswith(b"d")
+
+
+def test_bench_piece_derivation_cold(benchmark):
+    """Full piece-hash derivation for a 700 MB torrent, LRU cleared."""
+    def derive():
+        return _derive_pieces("Some.Release.2010", 700_000_000, 256 * 1024)
+
+    pieces = benchmark.pedantic(
+        derive, setup=_derive_pieces.cache_clear, rounds=3, iterations=1
+    )
+    assert len(pieces) == 20 * -(-700_000_000 // (256 * 1024))
+
+
+def test_bench_piece_derivation_warm(benchmark):
+    """Same derivation with a warm LRU (what sweep/golden reruns pay)."""
+    _derive_pieces.cache_clear()
+    _derive_pieces("Some.Release.2010", 700_000_000, 256 * 1024)
+    pieces = benchmark(
+        _derive_pieces, "Some.Release.2010", 700_000_000, 256 * 1024
+    )
+    assert len(pieces) > 0
+
+
+def test_bench_announce_codec_roundtrip(benchmark):
+    """Encode + decode one max-size announce (200 compact peers)."""
+    ips = list(range(10_000, 10_200))
+
+    def roundtrip():
+        wire = encode_announce_success(
+            interval_seconds=900, seeders=12, leechers=345, ips=ips
+        )
+        return decode_announce_response(wire)
+
+    response = benchmark(roundtrip)
+    assert len(response.peers) == 200
+
+
+def test_bench_bdecode_bytearray_zero_copy(benchmark):
+    """Decode a large response from a bytearray (the zero-copy input path)."""
+    wire = bytearray(
+        bencode({b"interval": 900, b"peers": bytes(range(256)) * 64})
+    )
+    decoded = benchmark(bdecode, wire)
+    assert decoded[b"interval"] == 900

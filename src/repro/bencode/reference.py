@@ -1,0 +1,157 @@
+"""Reference bencode codec: the original recursive implementation.
+
+This module preserves the straightforward, obviously-correct encoder and
+decoder that :mod:`repro.bencode.codec` shipped with before the hot-path
+rewrite.  It is **not** used by the pipeline; it exists so property tests
+can assert that the optimised codec agrees with it bit-for-bit on every
+value and raises on exactly the same malformed inputs.  Treat it as frozen:
+performance work happens in ``codec.py``, never here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.bencode.codec import BencodeError, Encodable
+
+
+def bencode_reference(value: Encodable) -> bytes:
+    """Serialise ``value`` to canonical bencode bytes (reference encoder)."""
+    out: List[bytes] = []
+    _encode(value, out)
+    return b"".join(out)
+
+
+def _encode(value: Encodable, out: List[bytes]) -> None:
+    if isinstance(value, bool):
+        # bool is an int subclass; accepting it would silently encode flags
+        # as 0/1 and round-trip to a different type.  Reject instead.
+        raise BencodeError("cannot bencode bool; use an int explicitly")
+    if isinstance(value, int):
+        out.append(b"i%de" % value)
+    elif isinstance(value, bytes):
+        out.append(b"%d:" % len(value))
+        out.append(value)
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(b"%d:" % len(encoded))
+        out.append(encoded)
+    elif isinstance(value, (list, tuple)):
+        out.append(b"l")
+        for item in value:
+            _encode(item, out)
+        out.append(b"e")
+    elif isinstance(value, dict):
+        out.append(b"d")
+        normalised: Dict[bytes, Any] = {}
+        for key, item in value.items():
+            if isinstance(key, str):
+                key = key.encode("utf-8")
+            if not isinstance(key, bytes):
+                raise BencodeError(
+                    f"dictionary keys must be bytes or str, got {type(key).__name__}"
+                )
+            if key in normalised:
+                raise BencodeError(f"duplicate dictionary key {key!r}")
+            normalised[key] = item
+        for key in sorted(normalised):
+            _encode(key, out)
+            _encode(normalised[key], out)
+        out.append(b"e")
+    else:
+        raise BencodeError(f"cannot bencode {type(value).__name__}")
+
+
+def bdecode_reference(data: bytes) -> Any:
+    """Parse bencode bytes (reference decoder); raises :class:`BencodeError`."""
+    if not isinstance(data, (bytes, bytearray)):
+        raise BencodeError(f"bdecode expects bytes, got {type(data).__name__}")
+    data = bytes(data)
+    if not data:
+        raise BencodeError("empty input")
+    value, index = _decode(data, 0)
+    if index != len(data):
+        raise BencodeError(f"trailing data at offset {index}")
+    return value
+
+
+def _decode(data: bytes, index: int) -> Tuple[Any, int]:
+    if index >= len(data):
+        raise BencodeError("truncated input")
+    lead = data[index : index + 1]
+    if lead == b"i":
+        return _decode_int(data, index)
+    if lead == b"l":
+        return _decode_list(data, index)
+    if lead == b"d":
+        return _decode_dict(data, index)
+    if lead.isdigit():
+        return _decode_bytes(data, index)
+    raise BencodeError(f"unexpected byte {lead!r} at offset {index}")
+
+
+def _decode_int(data: bytes, index: int) -> Tuple[int, int]:
+    end = data.find(b"e", index)
+    if end == -1:
+        raise BencodeError("unterminated integer")
+    body = data[index + 1 : end]
+    if not body or body == b"-":
+        raise BencodeError("empty integer")
+    if body == b"-0":
+        raise BencodeError("negative zero is not canonical")
+    digits = body[1:] if body[:1] == b"-" else body
+    if not digits.isdigit():
+        raise BencodeError(f"malformed integer {body!r}")
+    if len(digits) > 1 and digits[:1] == b"0":
+        raise BencodeError(f"leading zeros in integer {body!r}")
+    return int(body), end + 1
+
+
+def _decode_bytes(data: bytes, index: int) -> Tuple[bytes, int]:
+    colon = data.find(b":", index)
+    if colon == -1:
+        raise BencodeError("unterminated string length")
+    length_bytes = data[index:colon]
+    if not length_bytes.isdigit():
+        raise BencodeError(f"malformed string length {length_bytes!r}")
+    if len(length_bytes) > 1 and length_bytes[:1] == b"0":
+        raise BencodeError("leading zeros in string length")
+    length = int(length_bytes)
+    start = colon + 1
+    end = start + length
+    if end > len(data):
+        raise BencodeError("truncated string")
+    return data[start:end], end
+
+
+def _decode_list(data: bytes, index: int) -> Tuple[list, int]:
+    items: List[Any] = []
+    index += 1
+    while True:
+        if index >= len(data):
+            raise BencodeError("unterminated list")
+        if data[index : index + 1] == b"e":
+            return items, index + 1
+        item, index = _decode(data, index)
+        items.append(item)
+
+
+def _decode_dict(data: bytes, index: int) -> Tuple[Dict[bytes, Any], int]:
+    result: Dict[bytes, Any] = {}
+    previous_key = None
+    index += 1
+    while True:
+        if index >= len(data):
+            raise BencodeError("unterminated dictionary")
+        if data[index : index + 1] == b"e":
+            return result, index + 1
+        key, index = _decode(data, index)
+        if not isinstance(key, bytes):
+            raise BencodeError("dictionary key must be a byte string")
+        if previous_key is not None and key <= previous_key:
+            raise BencodeError(
+                f"dictionary keys not strictly sorted: {previous_key!r} then {key!r}"
+            )
+        previous_key = key
+        value, index = _decode(data, index)
+        result[key] = value

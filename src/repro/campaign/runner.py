@@ -58,6 +58,10 @@ class SweepSpec:
     post_window_days: Optional[float] = None
     confidence: float = 0.95
     bootstrap_resamples: int = 1000
+    # Tracker serialisation mode for every cell ("full"/"sampled"); must be
+    # uniform across the grid so merged metrics stay comparable.  None keeps
+    # each scenario's default.
+    wire_fidelity: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -78,6 +82,7 @@ class SweepSpec:
                 discovery=self.discovery,
                 window_days=self.window_days,
                 post_window_days=self.post_window_days,
+                wire_fidelity=self.wire_fidelity,
             )
 
     def cells(self) -> List["CellSpec"]:
@@ -91,6 +96,7 @@ class SweepSpec:
                 top_k=self.top_k,
                 window_days=self.window_days,
                 post_window_days=self.post_window_days,
+                wire_fidelity=self.wire_fidelity,
             )
             for scenario in self.scenarios
             for seed in self.seeds
@@ -109,6 +115,7 @@ class SweepSpec:
             "post_window_days": self.post_window_days,
             "confidence": self.confidence,
             "bootstrap_resamples": self.bootstrap_resamples,
+            "wire_fidelity": self.wire_fidelity,
         }
 
 
@@ -124,6 +131,7 @@ class CellSpec:
     top_k: int = 20
     window_days: Optional[float] = None
     post_window_days: Optional[float] = None
+    wire_fidelity: Optional[str] = None
 
 
 @dataclass
@@ -209,6 +217,7 @@ def run_campaign_cell(cell: CellSpec) -> CampaignResult:
         discovery=cell.discovery,
         window_days=cell.window_days,
         post_window_days=cell.post_window_days,
+        wire_fidelity=cell.wire_fidelity,
     )
     registry = MetricsRegistry()
     dataset, world = run_measurement_with_world(

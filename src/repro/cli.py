@@ -28,6 +28,10 @@ Subcommands:
     print the database view.
 ``appendix``
     Evaluate the Appendix A model for given (N, W, spacing, confidence).
+``bench``
+    Time the world-build / crawl / analysis / campaign-cell / sweep stages
+    over a fixed scenario and write a schema-versioned ``BENCH_<n>.json``
+    perf-trajectory data point (``--quick`` for the CI smoke variant).
 """
 
 from __future__ import annotations
@@ -222,6 +226,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             top_k=args.top_k,
             window_days=args.window_days,
             post_window_days=args.post_window_days,
+            wire_fidelity=args.wire_fidelity,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -260,6 +265,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.report_json, "w", encoding="utf-8") as handle:
             handle.write(result.to_json(indent=2) + "\n")
         print(f"aggregate report written to {args.report_json}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.benchmarking import format_bench, run_bench, write_bench
+
+    payload = run_bench(
+        scenario=args.scenario,
+        seed=args.seed,
+        reps=args.reps,
+        quick=args.quick,
+        progress=print,
+    )
+    print()
+    print(format_bench(payload))
+    if args.no_write:
+        return 0
+    path = write_bench(payload, output_dir=args.output_dir)
+    print(f"\nbench written to {path}")
     return 0
 
 
@@ -358,6 +382,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the deterministic aggregate JSON report here "
         "(bare flag: sweep_report.json)",
     )
+    sweep_parser.add_argument(
+        "--wire-fidelity", choices=["full", "sampled"], default="sampled",
+        help="tracker serialisation: 'full' encodes every announce, "
+        "'sampled' round-trips 1-in-N with a lossless assertion "
+        "(default sampled -- the policy outcome is identical)",
+    )
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     monitor_parser = sub.add_parser("monitor", help="run the Section 7 live "
@@ -370,6 +400,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of new torrents to hash-verify (fake filter)",
     )
     monitor_parser.set_defaults(func=_cmd_monitor)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="time the pipeline stages and record a BENCH_<n>.json "
+        "perf-trajectory data point",
+    )
+    bench_parser.add_argument(
+        "--scenario", type=_scenario_name, default="tiny",
+        metavar="{" + ",".join(sorted(SCENARIO_FACTORIES)) + "}",
+        help="scenario to time (default tiny)",
+    )
+    bench_parser.add_argument("--seed", type=_seed_value, default=7,
+                              help="world seed (default 7)")
+    bench_parser.add_argument(
+        "--reps", type=int, default=3,
+        help="reps per stage; rep 0 runs with a cold piece cache (default 3)",
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: at most 2 reps, skip the sweep stage",
+    )
+    bench_parser.add_argument(
+        "--output-dir", default=".",
+        help="directory for the BENCH_<n>.json file (default .)",
+    )
+    bench_parser.add_argument(
+        "--no-write", action="store_true",
+        help="print the stage table without writing a BENCH file",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
 
     appendix_parser = sub.add_parser("appendix", help="evaluate the Appendix "
                                      "A session model")

@@ -68,6 +68,10 @@ class Crawler:
             _VANTAGE_BASE_IP + index for index in range(self.settings.vantage_count)
         ]
         self._probers: Dict[int, BitfieldProber] = {}
+        # AnnounceRequests are immutable and identical for every poll of one
+        # (torrent, vantage) pair, so they are built once and reused -- a
+        # monitoring campaign issues tens of thousands of them.
+        self._announce_requests: Dict[tuple, AnnounceRequest] = {}
         self._last_rss_time = float("-inf")
         self._hard_stop = world.config.horizon_minutes
         self.stats = {
@@ -86,14 +90,19 @@ class Crawler:
         else:
             self.metrics = get_default_registry()
         registry = self.metrics
-        self._m_rss_polls = registry.counter("crawler.rss_polls")
-        self._m_announces = registry.counter("crawler.announces")
-        self._m_discovered = registry.counter("crawler.torrents_discovered")
+        self._m_rss_polls = registry.counter("crawler.rss_polls").labels()
+        # The two hot announce outcomes get pre-bound handles; rare label
+        # sets keep using the kwargs API on the parent counter.
+        announces = registry.counter("crawler.announces")
+        self._m_announces = announces
+        self._m_announce_ok = announces.labels(outcome="ok")
+        self._m_announce_failure = announces.labels(outcome="failure")
+        self._m_discovered = registry.counter("crawler.torrents_discovered").labels()
         self._m_identification = registry.counter("crawler.identification")
         self._m_monitor_stops = registry.counter("crawler.monitor_stops")
-        self._m_watchlist = registry.gauge("crawler.watchlist_size")
-        self._m_lag = registry.histogram("crawler.discovery_lag_minutes")
-        self._m_probes = registry.gauge("crawler.probes")
+        self._m_watchlist = registry.gauge("crawler.watchlist_size").labels()
+        self._m_lag = registry.histogram("crawler.discovery_lag_minutes").labels()
+        self._m_probes = registry.gauge("crawler.probes").labels()
         # Discovery channels (ISSUE 2).  The tracker is used unless the
         # scenario disables it; the DHT client exists only when the world
         # built an overlay.
@@ -224,20 +233,34 @@ class Crawler:
     # Tracker interaction
     # ------------------------------------------------------------------
     def _announce(self, record: TorrentRecord, vantage: int, now: float):
-        request = AnnounceRequest(
-            infohash=record.infohash,
-            client_ip=self._vantage_ips[vantage],
-            numwant=self.settings.numwant,
-        )
-        raw = self.world.tracker.announce(request, now)
+        request_key = (record.torrent_id, vantage)
+        request = self._announce_requests.get(request_key)
+        if request is None:
+            request = self._announce_requests[request_key] = AnnounceRequest(
+                infohash=record.infohash,
+                client_ip=self._vantage_ips[vantage],
+                numwant=self.settings.numwant,
+            )
+        tracker = self.world.tracker
         self.stats["announces"] += 1
-        try:
-            response = decode_announce_response(raw)
-        except TrackerError:
-            self.stats["announce_failures"] += 1
-            self._m_announces.inc(outcome="failure")
-            return None
-        self._m_announces.inc(outcome="ok")
+        if tracker.config.wire_fidelity == "sampled":
+            # Object path: the tracker hands back the response dataclass and
+            # only round-trips 1-in-N messages through the codec itself.
+            try:
+                response = tracker.announce_object(request, now)
+            except TrackerError:
+                self.stats["announce_failures"] += 1
+                self._m_announce_failure.inc()
+                return None
+        else:
+            raw = tracker.announce(request, now)
+            try:
+                response = decode_announce_response(raw)
+            except TrackerError:
+                self.stats["announce_failures"] += 1
+                self._m_announce_failure.inc()
+                return None
+        self._m_announce_ok.inc()
         self._process_response(record, response, now)
         return response
 
@@ -249,12 +272,15 @@ class Crawler:
         record.leecher_counts.append(response.leechers)
         record.max_population = max(record.max_population, response.total_peers)
         channel_ips = record.tracker_ips if channel == "tracker" else record.dht_ips
-        for ip in response.peer_ips:
+        watchlist = self.watchlist
+        downloader_ips = record.downloader_ips
+        publisher_ip = record.publisher_ip
+        for ip, _port in response.peers:
             channel_ips.add(ip)
-            if ip in self.watchlist:
+            if ip in watchlist:
                 record.record_sighting(ip, now)
-            if ip != record.publisher_ip:
-                record.downloader_ips.add(ip)
+            if ip != publisher_ip:
+                downloader_ips.add(ip)
 
     # ------------------------------------------------------------------
     # DHT interaction

@@ -65,6 +65,33 @@ class _Instrument:
         raise NotImplementedError
 
 
+class _BoundCounter:
+    """A counter pre-resolved to one label set (hot-path handle).
+
+    Created via :meth:`Counter.labels`; skips the per-call ``_label_key``
+    sort/stringify and writes straight into the parent's value table, so a
+    bound ``inc()`` is a dict update and nothing else.
+    """
+
+    __slots__ = ("_counter", "_key")
+
+    def __init__(self, counter: "Counter", key: LabelKey) -> None:
+        self._counter = counter
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError(
+                f"counter {self._counter.name!r} cannot decrease "
+                f"(amount={amount})"
+            )
+        values = self._counter._values
+        values[self._key] = values.get(self._key, 0.0) + amount
+
+    def value(self) -> float:
+        return self._counter._values.get(self._key, 0.0)
+
+
 class Counter(_Instrument):
     """Monotonically increasing count, one value per label set."""
 
@@ -73,6 +100,7 @@ class Counter(_Instrument):
     def __init__(self, name: str) -> None:
         super().__init__(name)
         self._values: Dict[LabelKey, float] = {}
+        self._bound: Dict[LabelKey, _BoundCounter] = {}
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
         if amount < 0:
@@ -81,6 +109,14 @@ class Counter(_Instrument):
             )
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0.0) + amount
+
+    def labels(self, **labels: Any) -> _BoundCounter:
+        """A bound handle for this label set; shares state with ``inc``."""
+        key = _label_key(labels)
+        handle = self._bound.get(key)
+        if handle is None:
+            handle = self._bound[key] = _BoundCounter(self, key)
+        return handle
 
     def value(self, **labels: Any) -> float:
         return self._values.get(_label_key(labels), 0.0)
@@ -96,6 +132,26 @@ class Counter(_Instrument):
         }
 
 
+class _BoundGauge:
+    """A gauge pre-resolved to one label set (hot-path handle)."""
+
+    __slots__ = ("_gauge", "_key")
+
+    def __init__(self, gauge: "Gauge", key: LabelKey) -> None:
+        self._gauge = gauge
+        self._key = key
+
+    def set(self, value: float) -> None:
+        self._gauge._values[self._key] = float(value)
+
+    def add(self, amount: float) -> None:
+        values = self._gauge._values
+        values[self._key] = values.get(self._key, 0.0) + amount
+
+    def value(self) -> float:
+        return self._gauge._values.get(self._key, 0.0)
+
+
 class Gauge(_Instrument):
     """A value that can move both ways (heap depth, watchlist size...)."""
 
@@ -104,6 +160,15 @@ class Gauge(_Instrument):
     def __init__(self, name: str) -> None:
         super().__init__(name)
         self._values: Dict[LabelKey, float] = {}
+        self._bound: Dict[LabelKey, _BoundGauge] = {}
+
+    def labels(self, **labels: Any) -> _BoundGauge:
+        """A bound handle for this label set; shares state with ``set``."""
+        key = _label_key(labels)
+        handle = self._bound.get(key)
+        if handle is None:
+            handle = self._bound[key] = _BoundGauge(self, key)
+        return handle
 
     def set(self, value: float, **labels: Any) -> None:
         self._values[_label_key(labels)] = float(value)
@@ -186,6 +251,41 @@ def _nearest_rank(samples: List[float], q: float) -> float:
     return ordered[min(rank, len(ordered)) - 1]
 
 
+class _BoundHistogram:
+    """A histogram pre-resolved to one label set (hot-path handle).
+
+    After the first ``observe`` the handle holds its
+    :class:`_HistogramState` directly, so subsequent calls go straight to
+    the accumulator without a key lookup.  The state is materialised
+    lazily: binding a label set that is never observed must not add a
+    ``count: 0`` entry to snapshots (that would break snapshot
+    bit-identity with the kwargs API).
+    """
+
+    __slots__ = ("_histogram", "_key", "_state")
+
+    def __init__(self, histogram: "Histogram", key: LabelKey) -> None:
+        self._histogram = histogram
+        self._key = key
+        self._state: Optional[_HistogramState] = None
+
+    def observe(self, value: float) -> None:
+        state = self._state
+        if state is None:
+            states = self._histogram._states
+            state = states.get(self._key)
+            if state is None:
+                state = states[self._key] = _HistogramState()
+            self._state = state
+        state.observe(float(value), self._histogram.max_samples)
+
+    def count(self) -> int:
+        state = self._state
+        if state is None:
+            state = self._histogram._states.get(self._key)
+        return state.count if state is not None else 0
+
+
 class Histogram(_Instrument):
     """Distribution summary (count/sum/min/max/mean + p50/p90/p99)."""
 
@@ -201,6 +301,15 @@ class Histogram(_Instrument):
         self.wall = wall
         self.max_samples = max_samples
         self._states: Dict[LabelKey, _HistogramState] = {}
+        self._bound: Dict[LabelKey, _BoundHistogram] = {}
+
+    def labels(self, **labels: Any) -> _BoundHistogram:
+        """A bound handle for this label set; shares state with ``observe``."""
+        key = _label_key(labels)
+        handle = self._bound.get(key)
+        if handle is None:
+            handle = self._bound[key] = _BoundHistogram(self, key)
+        return handle
 
     def observe(self, value: float, **labels: Any) -> None:
         key = _label_key(labels)
@@ -266,7 +375,25 @@ class MetricsRegistry:
     silently split one metric into two).
     """
 
-    def __init__(self, trace_capacity: int = 1024) -> None:
+    def __init__(
+        self,
+        trace_capacity: int = 1024,
+        wall_sample_interval: int = 16,
+        sim_sample_interval: int = 1,
+    ) -> None:
+        # Sampling knobs for per-event instrumentation (read by the engine):
+        # wall_sample_interval thins perf_counter callback timings, which are
+        # wall-domain and excluded from deterministic snapshots, so 1-in-16
+        # is the default.  sim_sample_interval thins sim-domain per-event
+        # observations (heap depth); it defaults to 1 (exact) because those
+        # feed the deterministic snapshot -- raise it only when you accept
+        # that same-seed snapshots move.
+        if wall_sample_interval < 1:
+            raise MetricsError("wall_sample_interval must be >= 1")
+        if sim_sample_interval < 1:
+            raise MetricsError("sim_sample_interval must be >= 1")
+        self.wall_sample_interval = wall_sample_interval
+        self.sim_sample_interval = sim_sample_interval
         self._instruments: Dict[str, _Instrument] = {}
         self.trace = TraceBuffer(capacity=trace_capacity)
 

@@ -354,6 +354,7 @@ def build_scenario(
     discovery: Optional[str] = None,
     window_days: Optional[float] = None,
     post_window_days: Optional[float] = None,
+    wire_fidelity: Optional[str] = None,
 ) -> ScenarioConfig:
     """Resolve a scenario by name and apply the standard overrides.
 
@@ -361,7 +362,10 @@ def build_scenario(
     tracker-involving mode turns the tracker back on, moving to dht-only
     works for any scenario.  ``window_days``/``post_window_days`` shrink or
     stretch the measurement window (sweep grids use short windows to trade
-    statistical power for wall-clock time).
+    statistical power for wall-clock time).  ``wire_fidelity`` overrides the
+    tracker's serialisation mode ("full" encodes every announce, "sampled"
+    round-trips 1-in-N and asserts losslessness); the policy outcome is
+    identical either way.
     """
     try:
         factory = SCENARIO_FACTORIES[name]
@@ -389,5 +393,9 @@ def build_scenario(
                 if post_window_days is not None
                 else config.post_window_days
             ),
+        )
+    if wire_fidelity is not None and wire_fidelity != config.tracker.wire_fidelity:
+        config = replace(
+            config, tracker=replace(config.tracker, wire_fidelity=wire_fidelity)
         )
     return config

@@ -50,11 +50,11 @@ class Swarm:
         registry = metrics if metrics is not None else get_default_registry()
         # Aggregated across all swarms of the run: arrivals/departures/seeder
         # flips as the tracker's monotonic queries sweep each timeline.
-        self._m_arrivals = registry.counter("swarm.arrivals")
-        self._m_departures = registry.counter("swarm.departures")
-        self._m_completions = registry.counter("swarm.completions")
-        self._m_queries = registry.counter("swarm.queries")
-        self._m_active = registry.histogram("swarm.active_peers")
+        self._m_arrivals = registry.counter("swarm.arrivals").labels()
+        self._m_departures = registry.counter("swarm.departures").labels()
+        self._m_completions = registry.counter("swarm.completions").labels()
+        self._m_queries = registry.counter("swarm.queries").labels()
+        self._m_active = registry.histogram("swarm.active_peers").labels()
         self._sessions: List[PeerSession] = []
         self._frozen = False
         # Incremental state (valid once frozen).

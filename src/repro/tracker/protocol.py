@@ -74,22 +74,30 @@ def peer_port_for_ip(ip: int) -> int:
     return 10000 + (ip % 50000)
 
 
+# One compact-peers entry: 4-byte big-endian IPv4 + 2-byte big-endian port.
+_PEER_STRUCT = struct.Struct(">IH")
+
+
 def encode_peers_compact(ips: List[int]) -> bytes:
-    packed = bytearray()
+    packed = bytearray(6 * len(ips))
+    pack_into = _PEER_STRUCT.pack_into
+    offset = 0
     for ip in ips:
-        packed += struct.pack(">IH", ip & 0xFFFFFFFF, peer_port_for_ip(ip))
+        pack_into(packed, offset, ip & 0xFFFFFFFF, 10000 + (ip % 50000))
+        offset += 6
     return bytes(packed)
 
 
 def encode_announce_success(
     interval_seconds: int, seeders: int, leechers: int, ips: List[int]
 ) -> bytes:
+    # Keys are pre-sorted bytes so bencode takes its no-normalisation path.
     return bencode(
         {
-            "interval": interval_seconds,
-            "complete": seeders,
-            "incomplete": leechers,
-            "peers": encode_peers_compact(ips),
+            b"complete": seeders,
+            b"incomplete": leechers,
+            b"interval": interval_seconds,
+            b"peers": encode_peers_compact(ips),
         }
     )
 
@@ -111,10 +119,7 @@ def decode_announce_response(data: bytes) -> AnnounceResponse:
     raw_peers = decoded[b"peers"]
     if not isinstance(raw_peers, bytes) or len(raw_peers) % 6 != 0:
         raise TrackerError("compact peers blob must be a multiple of 6 bytes")
-    peers: List[Tuple[int, int]] = []
-    for offset in range(0, len(raw_peers), 6):
-        ip, port = struct.unpack(">IH", raw_peers[offset : offset + 6])
-        peers.append((ip, port))
+    peers: List[Tuple[int, int]] = list(_PEER_STRUCT.iter_unpack(raw_peers))
     return AnnounceResponse(
         interval_seconds=decoded[b"interval"],
         seeders=decoded[b"complete"],

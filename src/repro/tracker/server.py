@@ -17,15 +17,19 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.observability import MetricsRegistry, get_default_registry
 from repro.swarm import Swarm
 from repro.tracker.protocol import (
     AnnounceRequest,
+    AnnounceResponse,
+    TrackerError,
+    decode_announce_response,
     encode_announce_success,
     encode_failure,
     encode_scrape_response,
+    peer_port_for_ip,
 )
 
 
@@ -42,6 +46,15 @@ class TrackerConfig:
     # rate-limit penalty; the client simply retries later).  Real trackers
     # of the era shed load exactly like this.
     failure_probability: float = 0.0
+    # Wire fidelity.  "full" serialises every announce through the bencode
+    # codec, exactly as the real HTTP tracker protocol would.  "sampled"
+    # hands the in-process crawler :class:`AnnounceResponse` objects and
+    # only round-trips 1-in-``wire_sample_interval`` responses through the
+    # codec, asserting the round trip is lossless each time -- the policy
+    # outcome (peers, counts, intervals, rng stream) is identical either
+    # way, only the serialisation work is skipped.
+    wire_fidelity: str = "full"
+    wire_sample_interval: int = 64
 
     def __post_init__(self) -> None:
         if self.max_numwant < 1:
@@ -52,6 +65,13 @@ class TrackerConfig:
             raise ValueError("blacklist_threshold must be >= 1")
         if not 0.0 <= self.failure_probability < 1.0:
             raise ValueError("failure_probability must be in [0, 1)")
+        if self.wire_fidelity not in ("full", "sampled"):
+            raise ValueError(
+                f"wire_fidelity must be 'full' or 'sampled', "
+                f"got {self.wire_fidelity!r}"
+            )
+        if self.wire_sample_interval < 1:
+            raise ValueError("wire_sample_interval must be >= 1")
 
 
 class Tracker:
@@ -73,16 +93,35 @@ class Tracker:
         self._blacklist: Set[int] = set()
         self.announces_served = 0
         self.announces_rejected = 0
+        self._wire_counter = 0  # object-path announces since the last sample
+        self.wire_samples_checked = 0
         self.metrics = metrics if metrics is not None else get_default_registry()
-        self._m_announces = self.metrics.counter("tracker.announces")
-        self._m_scrapes = self.metrics.counter("tracker.scrapes")
-        self._m_swarms = self.metrics.gauge("tracker.swarms")
-        self._m_response_bytes = self.metrics.histogram("tracker.response_bytes")
-        self._m_blacklisted = self.metrics.counter("tracker.clients_blacklisted")
+        announces = self.metrics.counter("tracker.announces")
+        self._m_announces = announces
+        self._m_announces_served = announces.labels(result="served")
+        # One bound handle per rejection kind; resolved lazily in _reject so
+        # unexercised outcomes never appear in the bound cache.
+        self._m_announce_results: Dict[str, Any] = {}
+        self._m_scrapes = self.metrics.counter("tracker.scrapes").labels()
+        self._m_swarms = self.metrics.gauge("tracker.swarms").labels()
+        self._m_response_bytes = self.metrics.histogram(
+            "tracker.response_bytes"
+        ).labels()
+        self._m_blacklisted = self.metrics.counter(
+            "tracker.clients_blacklisted"
+        ).labels()
+
+    def _result_handle(self, reason: str):
+        handle = self._m_announce_results.get(reason)
+        if handle is None:
+            handle = self._m_announce_results[reason] = self._m_announces.labels(
+                result=reason
+            )
+        return handle
 
     def _reject(self, reason: str, response: bytes) -> bytes:
         self.announces_rejected += 1
-        self._m_announces.inc(result=reason)
+        self._result_handle(reason).inc()
         self._m_response_bytes.observe(len(response))
         return response
 
@@ -114,23 +153,24 @@ class Tracker:
     # ------------------------------------------------------------------
     # Client-facing protocol
     # ------------------------------------------------------------------
-    def announce(self, request: AnnounceRequest, now: float) -> bytes:
-        """Handle one announce; returns bencoded response bytes."""
+    def _policy(self, request: AnnounceRequest, now: float):
+        """Announce policy, independent of wire serialisation.
+
+        Returns ``("served", AnnounceResponse)`` or ``(reject_reason,
+        failure_message)``.  All rng draws (overload check, swarm sampling,
+        interval jitter) happen here in a fixed order, so the byte path and
+        the object path consume the rng stream identically.
+        """
         if request.client_ip in self._blacklist:
-            return self._reject("rejected_banned", encode_failure("client banned"))
+            return "rejected_banned", "client banned"
         if (
             self.config.failure_probability > 0.0
             and self._rng.random() < self.config.failure_probability
         ):
-            return self._reject(
-                "rejected_overload",
-                encode_failure("tracker overloaded, retry later"),
-            )
+            return "rejected_overload", "tracker overloaded, retry later"
         swarm = self._swarms.get(request.infohash)
         if swarm is None:
-            return self._reject(
-                "rejected_unknown", encode_failure("unregistered torrent")
-            )
+            return "rejected_unknown", "unregistered torrent"
 
         key = (request.client_ip, request.infohash)
         last = self._last_announce.get(key)
@@ -142,12 +182,8 @@ class Tracker:
             if self._violations[request.client_ip] >= self.config.blacklist_threshold:
                 self._blacklist.add(request.client_ip)
                 self._m_blacklisted.inc()
-                return self._reject(
-                    "rejected_banned", encode_failure("client banned")
-                )
-            return self._reject(
-                "rejected_rate_limit", encode_failure("announce too frequent")
-            )
+                return "rejected_banned", "client banned"
+            return "rejected_rate_limit", "announce too frequent"
         self._last_announce[key] = now
 
         numwant = min(request.numwant, self.config.max_numwant)
@@ -161,16 +197,92 @@ class Tracker:
             self.config.min_interval + span * load_factor + jitter,
             self.config.max_interval,
         )
-        self.announces_served += 1
-        self._m_announces.inc(result="served")
-        response = encode_announce_success(
+        response = AnnounceResponse(
             interval_seconds=int(round(interval_minutes * 60)),
             seeders=snapshot.num_seeders,
             leechers=snapshot.num_leechers,
-            ips=[peer.ip for peer in snapshot.peers],
+            peers=[
+                (peer.ip & 0xFFFFFFFF, peer_port_for_ip(peer.ip))
+                for peer in snapshot.peers
+            ],
+        )
+        return "served", response
+
+    def announce(self, request: AnnounceRequest, now: float) -> bytes:
+        """Handle one announce; returns bencoded response bytes."""
+        outcome, payload = self._policy(request, now)
+        if outcome != "served":
+            return self._reject(outcome, encode_failure(payload))
+        self.announces_served += 1
+        self._m_announces_served.inc()
+        response = encode_announce_success(
+            interval_seconds=payload.interval_seconds,
+            seeders=payload.seeders,
+            leechers=payload.leechers,
+            ips=[ip for ip, _port in payload.peers],
         )
         self._m_response_bytes.observe(len(response))
         return response
+
+    def announce_object(self, request: AnnounceRequest, now: float) -> AnnounceResponse:
+        """Handle one announce without serialising it (sampled wire mode).
+
+        Policy, counters and the ``tracker.announces`` metric behave exactly
+        as :meth:`announce`; rejections raise :class:`TrackerError` with the
+        same failure message the byte path would encode.  Every
+        ``wire_sample_interval``-th message is additionally round-tripped
+        through the real codec and asserted lossless, keeping the wire format
+        continuously exercised.  ``tracker.response_bytes`` is only observed
+        for sampled messages (it is a wall-independent histogram, so sampled
+        runs intentionally opt out of byte-path metric parity).
+        """
+        outcome, payload = self._policy(request, now)
+        self._wire_counter += 1
+        sample = self._wire_counter >= self.config.wire_sample_interval
+        if sample:
+            self._wire_counter = 0
+        if outcome != "served":
+            self.announces_rejected += 1
+            self._result_handle(outcome).inc()
+            if sample:
+                self._check_failure_roundtrip(payload)
+            raise TrackerError(payload)
+        self.announces_served += 1
+        self._m_announces_served.inc()
+        if sample:
+            self._check_success_roundtrip(payload)
+        return payload
+
+    def _check_failure_roundtrip(self, message: str) -> None:
+        wire = encode_failure(message)
+        self._m_response_bytes.observe(len(wire))
+        try:
+            decode_announce_response(wire)
+        except TrackerError as exc:
+            if str(exc) != message:
+                raise AssertionError(
+                    f"lossy failure round-trip: {message!r} -> {exc!r}"
+                )
+        else:
+            raise AssertionError(
+                f"failure response decoded as success: {message!r}"
+            )
+        self.wire_samples_checked += 1
+
+    def _check_success_roundtrip(self, response: AnnounceResponse) -> None:
+        wire = encode_announce_success(
+            interval_seconds=response.interval_seconds,
+            seeders=response.seeders,
+            leechers=response.leechers,
+            ips=[ip for ip, _port in response.peers],
+        )
+        self._m_response_bytes.observe(len(wire))
+        decoded = decode_announce_response(wire)
+        if decoded != response:
+            raise AssertionError(
+                f"lossy announce round-trip: {response!r} -> {decoded!r}"
+            )
+        self.wire_samples_checked += 1
 
     def scrape(self, infohashes: Tuple[bytes, ...], now: float) -> bytes:
         """Handle a scrape for the given infohashes."""

@@ -28,7 +28,12 @@ import struct
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.tracker.protocol import AnnounceRequest, AnnounceResponse, TrackerError
+from repro.tracker.protocol import (
+    AnnounceRequest,
+    AnnounceResponse,
+    TrackerError,
+    decode_announce_response as http_decode_announce_response,
+)
 from repro.tracker.server import Tracker
 
 PROTOCOL_MAGIC = 0x41727101980
@@ -229,21 +234,27 @@ class UdpTrackerEndpoint:
             if issued is None or now - issued > CONNECTION_TTL_MINUTES:
                 self._m_errors.inc(reason="stale_connection")
                 return encode_error(request.transaction_id, "invalid connection id")
-            raw = self._tracker.announce(
-                AnnounceRequest(
-                    infohash=request.infohash,
-                    client_ip=source_ip,
-                    numwant=max(0, request.numwant),
-                ),
-                now,
+            announce = AnnounceRequest(
+                infohash=request.infohash,
+                client_ip=source_ip,
+                numwant=max(0, request.numwant),
             )
-            try:
-                from repro.tracker.protocol import decode_announce_response as http_decode
-
-                response = http_decode(raw)
-            except TrackerError as exc:
-                self._m_errors.inc(reason="tracker_failure")
-                return encode_error(request.transaction_id, str(exc))
+            if self._tracker.config.wire_fidelity == "sampled":
+                # Object path: skip the inner bencode round-trip; the UDP
+                # framing itself is still encoded below, so this transport
+                # stays byte-real on the outside.
+                try:
+                    response = self._tracker.announce_object(announce, now)
+                except TrackerError as exc:
+                    self._m_errors.inc(reason="tracker_failure")
+                    return encode_error(request.transaction_id, str(exc))
+            else:
+                raw = self._tracker.announce(announce, now)
+                try:
+                    response = http_decode_announce_response(raw)
+                except TrackerError as exc:
+                    self._m_errors.inc(reason="tracker_failure")
+                    return encode_error(request.transaction_id, str(exc))
             return encode_announce_response(
                 request.transaction_id,
                 response.interval_seconds,

@@ -334,3 +334,72 @@ class TestMergeSnapshots:
             pass
         merged = merge_snapshots([registry.snapshot(include_wall=True)])
         assert merged["wall_op"].get("wall") is True
+
+
+class TestBoundHandles:
+    """``labels(**labels)`` handles must share state with the kwargs API --
+    they are a call-overhead optimisation, never a separate namespace."""
+
+    def test_counter_handle_shares_state_with_kwargs(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        handle = counter.labels(result="ok")
+        handle.inc()
+        counter.inc(2.0, result="ok")
+        assert handle.value() == 3.0
+        assert counter.value(result="ok") == 3.0
+
+    def test_counter_handle_is_cached(self):
+        counter = MetricsRegistry().counter("c")
+        assert counter.labels(a="x") is counter.labels(a="x")
+        assert counter.labels(a="x") is not counter.labels(a="y")
+
+    def test_counter_handle_rejects_negative(self):
+        handle = MetricsRegistry().counter("c").labels()
+        with pytest.raises(MetricsError):
+            handle.inc(-1)
+
+    def test_gauge_handle_set_add_value(self):
+        gauge = MetricsRegistry().gauge("g")
+        handle = gauge.labels(kind="depth")
+        handle.set(5)
+        handle.add(2)
+        assert handle.value() == 7.0
+        assert gauge.value(kind="depth") == 7.0
+        gauge.set(1.0, kind="depth")
+        assert handle.value() == 1.0
+
+    def test_histogram_handle_shares_state_with_kwargs(self):
+        histogram = MetricsRegistry().histogram("h")
+        handle = histogram.labels(stage="crawl")
+        handle.observe(1.0)
+        histogram.observe(3.0, stage="crawl")
+        handle.observe(5.0)
+        assert handle.count() == 3
+        summary = histogram.summary(stage="crawl")
+        assert summary["count"] == 3
+        assert summary["sum"] == 9.0
+
+    def test_unobserved_histogram_handle_absent_from_snapshot(self):
+        # Binding must be lazy: a handle that never observes must not leak
+        # a `count: 0` series into snapshots (bit-identity with kwargs API).
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        histogram.labels(stage="never_used")
+        histogram.observe(1.0, stage="used")
+        series = registry.snapshot()["h"]["values"]
+        assert list(series) == ["stage=used"]
+
+    def test_label_order_irrelevant_for_handles(self):
+        counter = MetricsRegistry().counter("c")
+        counter.labels(a="1", b="2").inc()
+        assert counter.labels(b="2", a="1").value() == 1.0
+
+    def test_registry_sampling_knob_validation(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry(wall_sample_interval=0)
+        with pytest.raises(MetricsError):
+            MetricsRegistry(sim_sample_interval=0)
+        registry = MetricsRegistry(wall_sample_interval=4, sim_sample_interval=2)
+        assert registry.wall_sample_interval == 4
+        assert registry.sim_sample_interval == 2

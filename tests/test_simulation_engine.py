@@ -158,7 +158,9 @@ class TestSchedulerMetrics:
     def test_callback_wall_timing_labeled(self):
         from repro.observability import MetricsRegistry
 
-        registry = MetricsRegistry()
+        # wall_sample_interval=1 times every callback (the pre-sampling
+        # behaviour); the default of 16 is covered separately below.
+        registry = MetricsRegistry(wall_sample_interval=1)
         scheduler = EventScheduler(metrics=registry)
 
         def named_callback():
@@ -171,3 +173,38 @@ class TestSchedulerMetrics:
         assert histogram.wall is True
         label = "TestSchedulerMetrics.test_callback_wall_timing_labeled.<locals>.named_callback"
         assert histogram.count(callback=label) == 2
+
+    def test_callback_wall_timing_sampled_by_default(self):
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry()  # default wall_sample_interval=16
+        scheduler = EventScheduler(metrics=registry)
+
+        def named_callback():
+            pass
+
+        for i in range(48):
+            scheduler.schedule(float(i), named_callback)
+        scheduler.run_until(100.0)
+        histogram = registry.histogram("engine.callback_wall_ms")
+        label = (
+            "TestSchedulerMetrics.test_callback_wall_timing_sampled_by_default"
+            ".<locals>.named_callback"
+        )
+        # 48 events at 1-in-16 -> exactly 3 wall observations; every event
+        # still counts in the sim-domain instruments.
+        assert histogram.count(callback=label) == 3
+        assert registry.counter("engine.events_run").value() == 48
+        assert registry.histogram("engine.heap_depth").count() == 48
+
+    def test_heap_depth_sampling_knob(self):
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry(sim_sample_interval=4)
+        scheduler = EventScheduler(metrics=registry)
+        for i in range(8):
+            scheduler.schedule(float(i), lambda: None)
+        scheduler.run_until(10.0)
+        # Opt-in thinning: 8 events at 1-in-4 -> 2 heap-depth observations.
+        assert registry.histogram("engine.heap_depth").count() == 2
+        assert registry.counter("engine.events_run").value() == 8

@@ -13,6 +13,11 @@ from repro.torrent import (
     build_torrent,
     parse_torrent,
 )
+from repro.torrent.metainfo import (
+    PIECE_PAYLOAD_BYTES,
+    _derive_pieces,
+    piece_payload,
+)
 
 ANNOUNCE = "http://tracker.example/announce"
 
@@ -140,3 +145,74 @@ def test_roundtrip_property(name, size):
     assert meta.total_length == size
     assert meta.num_pieces == max(1, -(-size // (256 * 1024)))
     assert len(meta.infohash) == 20
+
+
+class TestPieceDerivation:
+    """The prefix-reuse rewrite of ``_derive_pieces`` must be bit-identical
+    to the original per-piece ``sha1(piece_payload(name, index))`` formula,
+    and the LRU in front of it must never change results, only cost."""
+
+    @staticmethod
+    def _reference_pieces(name, total_length, piece_length):
+        # The pre-optimisation implementation, inlined: one independent
+        # sha256(name + "\x00" + index) seed per piece, repeated/truncated
+        # to PIECE_PAYLOAD_BYTES, then sha1-hashed.
+        num_pieces = max(1, -(-total_length // piece_length))
+        digests = []
+        for index in range(num_pieces):
+            seed = hashlib.sha256(f"{name}\x00{index}".encode("utf-8")).digest()
+            repeats = -(-PIECE_PAYLOAD_BYTES // len(seed))
+            payload = (seed * repeats)[:PIECE_PAYLOAD_BYTES]
+            digests.append(hashlib.sha1(payload).digest())
+        return b"".join(digests)
+
+    @pytest.mark.parametrize(
+        "name,total_length,piece_length",
+        [
+            ("x", 1, 1),
+            ("My.Release.2010", 256 * 1024 * 10, 256 * 1024),
+            ("My.Release.2010", 256 * 1024 * 10 + 1, 256 * 1024),
+            ("exact.one.piece", 4096, 4096),
+            ("tiny.piece.len", 10_000, 7),  # payload not a seed multiple
+            ("café über 中文", 1_000_000, 16_384),
+            ("name with spaces\x00and.nul", 123_456, 32_768),
+        ],
+    )
+    def test_bit_identical_to_original_formula(
+        self, name, total_length, piece_length
+    ):
+        _derive_pieces.cache_clear()
+        assert _derive_pieces(name, total_length, piece_length) == (
+            self._reference_pieces(name, total_length, piece_length)
+        )
+
+    @given(
+        name=st.text(min_size=1, max_size=20),
+        num_pieces=st.integers(min_value=1, max_value=12),
+        piece_length=st.integers(min_value=1, max_value=100_000),
+    )
+    def test_bit_identical_property(self, name, num_pieces, piece_length):
+        total_length = num_pieces * piece_length
+        assert _derive_pieces(name, total_length, piece_length) == (
+            self._reference_pieces(name, total_length, piece_length)
+        )
+
+    def test_pieces_agree_with_piece_payload(self):
+        pieces = _derive_pieces("agree", 4 * 1024 * 4, 4 * 1024)
+        for index in range(4):
+            expected = hashlib.sha1(piece_payload("agree", index)).digest()
+            assert pieces[index * 20 : (index + 1) * 20] == expected
+
+    def test_lru_cache_hit_returns_same_bytes(self):
+        _derive_pieces.cache_clear()
+        first = _derive_pieces("cached", 256 * 1024 * 3, 256 * 1024)
+        before = _derive_pieces.cache_info().hits
+        second = _derive_pieces("cached", 256 * 1024 * 3, 256 * 1024)
+        assert second == first
+        assert _derive_pieces.cache_info().hits == before + 1
+
+    def test_build_torrent_unaffected_by_cache_state(self):
+        _derive_pieces.cache_clear()
+        cold = build_torrent(ANNOUNCE, "cache.probe", 1_000_000)
+        warm = build_torrent(ANNOUNCE, "cache.probe", 1_000_000)
+        assert cold == warm

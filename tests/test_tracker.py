@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.observability import MetricsRegistry
 from repro.swarm import PeerSession, Swarm
 from repro.tracker import (
     AnnounceRequest,
@@ -204,3 +205,133 @@ class TestTrackerServer:
             TrackerConfig(min_interval=20, max_interval=10)
         with pytest.raises(ValueError):
             TrackerConfig(max_numwant=0)
+
+
+class TestWireFidelity:
+    """``announce_object`` (sampled mode) must be policy-identical to the
+    byte path: same rng stream, same peers/counts/intervals, same counters,
+    same failure messages -- only the per-announce serialisation differs."""
+
+    @staticmethod
+    def _paired_trackers(**config_kwargs):
+        # Same seed, structurally identical swarms: the two trackers see
+        # identical rng streams and identical swarm timelines.
+        pair = []
+        for fidelity in ("full", "sampled"):
+            tracker = Tracker(
+                "http://t.sim/announce",
+                random.Random(42),
+                TrackerConfig(wire_fidelity=fidelity, **config_kwargs),
+                metrics=MetricsRegistry(),
+            )
+            tracker.register_swarm(make_swarm(n_peers=30, n_seeders=4))
+            pair.append(tracker)
+        return pair
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="wire_fidelity"):
+            TrackerConfig(wire_fidelity="compressed")
+        with pytest.raises(ValueError, match="wire_sample_interval"):
+            TrackerConfig(wire_sample_interval=0)
+
+    def test_served_responses_identical(self):
+        full, sampled = self._paired_trackers()
+        for step in range(8):
+            request = AnnounceRequest(
+                infohash=IH, client_ip=CLIENT + step, numwant=10
+            )
+            now = 1.0 + step
+            from_bytes = decode_announce_response(full.announce(request, now))
+            from_object = sampled.announce_object(request, now)
+            assert from_object == from_bytes
+        assert full.announces_served == sampled.announces_served == 8
+
+    def test_rejections_raise_with_byte_path_message(self):
+        full, sampled = self._paired_trackers()
+        unknown = AnnounceRequest(infohash=b"\x33" * 20, client_ip=CLIENT)
+        with pytest.raises(TrackerError) as from_bytes:
+            decode_announce_response(full.announce(unknown, 1.0))
+        with pytest.raises(TrackerError) as from_object:
+            sampled.announce_object(unknown, 1.0)
+        assert str(from_object.value) == str(from_bytes.value)
+        assert full.announces_rejected == sampled.announces_rejected == 1
+
+    def test_rate_limit_parity(self):
+        full, sampled = self._paired_trackers(min_interval=10.0)
+        request = AnnounceRequest(infohash=IH, client_ip=CLIENT)
+        full.announce(request, 1.0)
+        sampled.announce_object(request, 1.0)
+        with pytest.raises(TrackerError, match="too frequent"):
+            decode_announce_response(full.announce(request, 2.0))
+        with pytest.raises(TrackerError, match="too frequent"):
+            sampled.announce_object(request, 2.0)
+
+    def test_rng_stream_parity_with_overload(self):
+        # failure_probability draws from the rng on every announce; if the
+        # object path drew differently the outcome sequences would diverge.
+        full, sampled = self._paired_trackers(failure_probability=0.3)
+
+        def outcomes(tracker, call):
+            result = []
+            for step in range(30):
+                request = AnnounceRequest(
+                    infohash=IH, client_ip=CLIENT + step, numwant=5
+                )
+                try:
+                    response = call(tracker, request, 1.0 + step)
+                except TrackerError as exc:
+                    result.append(str(exc))
+                else:
+                    result.append(response)
+            return result
+
+        full_outcomes = outcomes(
+            full, lambda t, r, now: decode_announce_response(t.announce(r, now))
+        )
+        sampled_outcomes = outcomes(
+            sampled, lambda t, r, now: t.announce_object(r, now)
+        )
+        assert full_outcomes == sampled_outcomes
+
+    def test_every_message_checked_at_interval_one(self):
+        _, sampled = self._paired_trackers(wire_sample_interval=1)
+        for step in range(5):
+            sampled.announce_object(
+                AnnounceRequest(infohash=IH, client_ip=CLIENT + step), 1.0 + step
+            )
+        with pytest.raises(TrackerError):
+            sampled.announce_object(
+                AnnounceRequest(infohash=b"\x44" * 20, client_ip=CLIENT), 10.0
+            )
+        assert sampled.wire_samples_checked == 6
+
+    def test_sampling_interval_respected(self):
+        _, sampled = self._paired_trackers(wire_sample_interval=4)
+        for step in range(10):
+            sampled.announce_object(
+                AnnounceRequest(infohash=IH, client_ip=CLIENT + step), 1.0 + step
+            )
+        assert sampled.wire_samples_checked == 2  # messages 4 and 8
+
+    def test_byte_path_never_samples(self):
+        full, _ = self._paired_trackers(wire_sample_interval=1)
+        for step in range(5):
+            full.announce(
+                AnnounceRequest(infohash=IH, client_ip=CLIENT + step), 1.0 + step
+            )
+        assert full.wire_samples_checked == 0
+
+    def test_announce_counters_identical(self):
+        full, sampled = self._paired_trackers()
+        unknown = AnnounceRequest(infohash=b"\x55" * 20, client_ip=CLIENT)
+        for step in range(6):
+            request = AnnounceRequest(infohash=IH, client_ip=CLIENT + step)
+            full.announce(request, 1.0 + step)
+            sampled.announce_object(request, 1.0 + step)
+        full.announce(unknown, 20.0)
+        with pytest.raises(TrackerError):
+            sampled.announce_object(unknown, 20.0)
+        full_counts = full.metrics.counter("tracker.announces").value
+        sampled_counts = sampled.metrics.counter("tracker.announces").value
+        for result in ("served", "rejected_unknown"):
+            assert full_counts(result=result) == sampled_counts(result=result)
